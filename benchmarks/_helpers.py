@@ -1,0 +1,89 @@
+"""Shared machinery for the figure benches.
+
+The Fig 8/9/10 benches share one cluster-size sweep and the Fig 11/12/14-19
+benches share one six-scheduler run; both are computed once per pytest
+session and cached here.  Every bench prints its table (so it lands in
+``bench_output.txt``) and also writes it under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import ClusterSimulation, SimulationResult
+from repro.core.client import make_planner
+from repro.core.scheduler import WohaScheduler
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.workflow.model import Workflow
+from repro.workloads.topologies import fig11_workflows
+from repro.workloads.yahoo import YahooTraceConfig, generate_yahoo_workflows
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: The six stacks of the paper's evaluation, in its plotting order.
+STACKS: List[Tuple[str, Callable[[], Tuple[object, str, Optional[Callable]]]]] = [
+    ("EDF", lambda: (EdfScheduler(), "oozie", None)),
+    ("FIFO", lambda: (FifoScheduler(), "oozie", None)),
+    ("Fair", lambda: (FairScheduler(), "oozie", None)),
+    ("WOHA-HLF", lambda: (WohaScheduler(), "woha", make_planner("hlf"))),
+    ("WOHA-MPF", lambda: (WohaScheduler(), "woha", make_planner("mpf"))),
+    ("WOHA-LPF", lambda: (WohaScheduler(), "woha", make_planner("lpf"))),
+]
+
+#: The paper's Fig 8-10 cluster sizes: "200m-200r" etc.
+CLUSTER_SIZES: List[Tuple[int, int]] = [(200, 200), (240, 240), (280, 280)]
+
+
+def run_stack(
+    name: str,
+    workflows: List[Workflow],
+    config: ClusterConfig,
+) -> SimulationResult:
+    """Run one named scheduler stack over the workflows."""
+    for stack_name, factory in STACKS:
+        if stack_name == name:
+            scheduler, mode, planner = factory()
+            sim = ClusterSimulation(config, scheduler, submission=mode, planner=planner)
+            sim.add_workflows(workflows)
+            return sim.run()
+    raise KeyError(name)
+
+
+@functools.lru_cache(maxsize=None)
+def yahoo_trace() -> Tuple[Workflow, ...]:
+    """The Fig 8-10 input: singletons dropped, as in the paper."""
+    return tuple(generate_yahoo_workflows(YahooTraceConfig(drop_single_job=True)))
+
+
+@functools.lru_cache(maxsize=None)
+def fig8_sweep() -> Dict[Tuple[str, Tuple[int, int]], SimulationResult]:
+    """All 18 (scheduler x cluster-size) runs behind Figs 8, 9 and 10."""
+    workflows = list(yahoo_trace())
+    results: Dict[Tuple[str, Tuple[int, int]], SimulationResult] = {}
+    for maps, reduces in CLUSTER_SIZES:
+        config = ClusterConfig.from_total_slots(maps, reduces, nodes=40, heartbeat_interval=float("inf"))
+        for name, _factory in STACKS:
+            results[(name, (maps, reduces))] = run_stack(name, workflows, config)
+    return results
+
+
+@functools.lru_cache(maxsize=None)
+def fig11_runs() -> Dict[str, SimulationResult]:
+    """The six scheduler runs behind Figs 11, 12 and 14-19."""
+    config = ClusterConfig(
+        num_nodes=32, map_slots_per_node=2, reduce_slots_per_node=1, heartbeat_interval=float("inf")
+    )
+    return {name: run_stack(name, fig11_workflows(), config) for name, _f in STACKS}
+
+
+def emit(figure: str, table: str) -> None:
+    """Print a bench table and persist it under benchmarks/results/."""
+    print(f"\n{table}\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{figure}.txt"), "w") as fh:
+        fh.write(table + "\n")

@@ -1,0 +1,79 @@
+"""Ablation: speculative execution under straggler-inducing noise.
+
+Hadoop's backup-attempt mechanism matters to WOHA because one straggling
+task at a workflow join point can stall the plan.  This bench runs the
+Fig 11 experiment with heavy-tailed duration noise (lognormal sigma = 0.6,
+i.e. ~10% of tasks take more than twice their estimate) and compares
+WOHA-LPF with and without speculation, reporting deadline outcomes, max
+tardiness and the backup economy (launched vs won).
+"""
+
+from repro import (
+    ClusterConfig,
+    ClusterSimulation,
+    LognormalNoise,
+    SpeculationManager,
+    WohaScheduler,
+    make_planner,
+)
+from repro.metrics.report import format_table
+from repro.workloads.topologies import fig11_workflows
+
+from benchmarks._helpers import emit
+
+SIGMA = 0.6
+
+
+def run(speculate: bool):
+    config = ClusterConfig(
+        num_nodes=32, map_slots_per_node=2, reduce_slots_per_node=1, heartbeat_interval=float("inf")
+    )
+    sim = ClusterSimulation(
+        config,
+        WohaScheduler(),
+        submission="woha",
+        planner=make_planner("lpf"),
+        duration_sampler_factory=LognormalNoise(SIGMA, seed=23),
+    )
+    manager = None
+    if speculate:
+        manager = SpeculationManager(
+            sim.sim, sim.jobtracker, slow_factor=1.5, min_runtime=15.0, check_interval=15.0
+        )
+    sim.add_workflows(fig11_workflows())
+    result = sim.run()
+    return result, manager
+
+
+def test_ablation_speculation(benchmark):
+    def experiment():
+        return run(False), run(True)
+
+    (plain, _none), (spec, manager) = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for label, result in (("no speculation", plain), ("speculation", spec)):
+        rows.append(
+            [
+                label,
+                sum(1 for s in result.stats.values() if not s.met_deadline),
+                result.max_tardiness,
+                max(result.stats[w].workspan for w in ("W-1", "W-2", "W-3")),
+                result.metrics.tasks_lost,
+            ]
+        )
+    table = format_table(
+        ["config", "misses", "max tardiness (s)", "max workspan (s)", "attempts retired"],
+        rows,
+        title=(
+            f"Ablation: Fig 11 under lognormal(sigma={SIGMA}) duration noise, WOHA-LPF\n"
+            f"backups launched: {manager.backups_launched}, backups won: {manager.backups_won}"
+        ),
+        float_fmt="{:.1f}",
+    )
+    emit("ablation_speculation", table)
+    # Speculation must strictly help this straggler-heavy workload.
+    assert manager.backups_launched > 0
+    assert spec.max_tardiness <= plain.max_tardiness
+    assert max(spec.stats[w].workspan for w in ("W-1", "W-2", "W-3")) <= max(
+        plain.stats[w].workspan for w in ("W-1", "W-2", "W-3")
+    )

@@ -1,0 +1,49 @@
+"""Fig 5: task-duration CDFs of the (synthetic) job trace.
+
+(a) CDF of map/reduce task execution times; paper anchors: most mappers
+finish in 10-100 s, >50 % of reducers take >100 s, ~10 % take >1000 s.
+(b) CDF of the per-job reduce/map mean-duration ratio; reducers usually
+take much longer.
+"""
+
+import numpy as np
+
+from repro.metrics.report import format_table
+from repro.workloads.yahoo import generate_job_trace
+
+from benchmarks._helpers import emit
+
+DURATION_POINTS = [3_000.0, 10_000.0, 30_000.0, 100_000.0, 300_000.0, 1_000_000.0, 10_000_000.0]  # ms
+RATIO_POINTS = [0.01, 0.1, 1.0, 10.0, 100.0]
+
+
+def test_fig05_task_durations(benchmark):
+    trace = benchmark.pedantic(lambda: generate_job_trace(num_jobs=4000, seed=7), rounds=1, iterations=1)
+    map_ms = np.array([j.map_duration * 1000.0 for j in trace])
+    reduce_ms = np.array([j.reduce_duration * 1000.0 for j in trace if j.num_reduces > 0])
+
+    rows_a = [
+        [f"{int(p):>8d}", float(np.mean(map_ms <= p)), float(np.mean(reduce_ms <= p))]
+        for p in DURATION_POINTS
+    ]
+    table_a = format_table(
+        ["t (ms)", "P[map <= t]", "P[reduce <= t]"],
+        rows_a,
+        title="Fig 5a: CDF of task execution time (4000-job synthetic trace)",
+    )
+
+    ratios = np.array([j.reduce_duration / j.map_duration for j in trace if j.num_reduces > 0])
+    rows_b = [[p, float(np.mean(ratios <= p))] for p in RATIO_POINTS]
+    table_b = format_table(
+        ["r", "P[reduce/map <= r]"],
+        rows_b,
+        title="Fig 5b: CDF of per-job reduce/map duration ratio",
+    )
+    emit("fig05_durations", table_a + "\n\n" + table_b)
+
+    # Paper anchors.
+    in_band = np.mean((map_ms >= 10_000.0) & (map_ms <= 100_000.0))
+    assert in_band > 0.6, "most mappers finish between 10s and 100s"
+    assert np.mean(reduce_ms > 100_000.0) > 0.5, ">50% of reducers exceed 100s"
+    assert 0.04 < np.mean(reduce_ms > 1_000_000.0) < 0.18, "~10% of reducers exceed 1000s"
+    assert np.mean(ratios > 1.0) > 0.7, "reducers usually outlast mappers"

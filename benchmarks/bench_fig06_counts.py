@@ -1,0 +1,46 @@
+"""Fig 6: task-count CDFs of the (synthetic) job trace.
+
+(a) CDF of mapper/reducer counts per job; paper anchors: ~30 % of jobs have
+more than 100 mappers, >60 % of jobs have fewer than 10 reducers.
+(b) CDF of the per-job map/reduce count ratio; mappers usually outnumber
+reducers.
+"""
+
+import numpy as np
+
+from repro.metrics.report import format_table
+from repro.workloads.yahoo import generate_job_trace
+
+from benchmarks._helpers import emit
+
+COUNT_POINTS = [1, 3, 10, 30, 100, 300, 1000, 3000]
+RATIO_POINTS = [0.01, 0.1, 1.0, 10.0, 100.0, 1000.0]
+
+
+def test_fig06_task_counts(benchmark):
+    trace = benchmark.pedantic(lambda: generate_job_trace(num_jobs=4000, seed=7), rounds=1, iterations=1)
+    maps = np.array([j.num_maps for j in trace])
+    reduces = np.array([j.num_reduces for j in trace])
+
+    rows_a = [
+        [p, float(np.mean(maps <= p)), float(np.mean(reduces <= p))] for p in COUNT_POINTS
+    ]
+    table_a = format_table(
+        ["n", "P[#maps <= n]", "P[#reduces <= n]"],
+        rows_a,
+        title="Fig 6a: CDF of task counts per job (4000-job synthetic trace)",
+    )
+
+    with_reduce = reduces > 0
+    ratios = maps[with_reduce] / reduces[with_reduce]
+    rows_b = [[p, float(np.mean(ratios <= p))] for p in RATIO_POINTS]
+    table_b = format_table(
+        ["r", "P[#maps/#reduces <= r]"],
+        rows_b,
+        title="Fig 6b: CDF of per-job map/reduce count ratio",
+    )
+    emit("fig06_counts", table_a + "\n\n" + table_b)
+
+    assert 0.2 < np.mean(maps > 100) < 0.4, "~30% of jobs exceed 100 mappers"
+    assert np.mean(reduces < 10) > 0.6, ">60% of jobs have <10 reducers"
+    assert np.mean(ratios > 1.0) > 0.75, "mappers usually outnumber reducers"

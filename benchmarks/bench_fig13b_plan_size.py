@@ -1,0 +1,58 @@
+"""Fig 13b: scheduling-plan size vs workflow task count, per prioritizer.
+
+Paper shape: even a 1 400+-task workflow's plan stays around 7 KB, and most
+plans stay within 2 KB — negligible network/memory load on the master.
+"""
+
+import numpy as np
+
+from repro.core.capsearch import find_min_cap
+from repro.core.plangen import generate_requirements
+from repro.core.priorities import PRIORITIZERS
+from repro.metrics.report import format_table
+from repro.workloads.distributions import TraceDistributions
+from repro.workloads.topologies import random_dag_workflow
+from repro.workloads.deadlines import stretch_deadline
+
+from benchmarks._helpers import emit
+
+
+def build_workflows():
+    """Yahoo!-like workflows across a range of sizes (up to ~1500 tasks)."""
+    rng = np.random.default_rng(99)
+    dist = TraceDistributions(seed=41, max_maps=200, max_reduces=30)
+    workflows = []
+    # Sizes span the paper's Fig 13b x-axis (up to ~1500-2000 tasks).
+    shapes = [(2, 0.3), (3, 0.5), (4, 0.7), (5, 0.9), (6, 1.1), (8, 1.3), (10, 1.4), (12, 1.5), (12, 1.7)]
+    for i, (jobs, scale) in enumerate(shapes):
+        w = random_dag_workflow(f"pw{i}", jobs, rng, dist, task_scale=scale)
+        workflows.append(stretch_deadline(w, reference_slots=64, stretch=1.8))
+    return workflows
+
+
+def test_fig13b_plan_size(benchmark):
+    def sweep():
+        rows = []
+        for w in build_workflows():
+            row = [w.total_tasks]
+            for name in ("mpf", "lpf", "hlf"):
+                order = PRIORITIZERS[name](w)
+                result = find_min_cap(w, 400, job_order=order)
+                plan = generate_requirements(w, result.cap, order, feasible=result.feasible)
+                row.append(plan.size_bytes / 1024.0)
+            rows.append(row)
+        return sorted(rows)
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["tasks", "MPF (KB)", "LPF (KB)", "HLF (KB)"],
+        rows,
+        title="Fig 13b: resource-capped scheduling plan size",
+    )
+    emit("fig13b_plan_size", table)
+    sizes = [kb for row in rows for kb in row[1:]]
+    tasks = [row[0] for row in rows]
+    assert max(tasks) > 1400, "the sweep must include a 1400+-task workflow"
+    # Paper's claims: biggest plans stay single-digit KB; most are tiny.
+    assert max(sizes) < 10.0
+    assert np.median(sizes) < 3.0

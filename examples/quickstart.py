@@ -1,0 +1,48 @@
+"""Quickstart: submit one deadline-carrying workflow to a WOHA cluster.
+
+Builds a small ETL workflow, lets the WOHA client generate its scheduling
+plan, runs it on a simulated 8-node Hadoop cluster and prints the outcome.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ClusterConfig,
+    ClusterSimulation,
+    WohaScheduler,
+    WorkflowBuilder,
+    make_planner,
+)
+
+
+def main() -> None:
+    workflow = (
+        WorkflowBuilder("etl-pipeline")
+        .job("extract", maps=24, reduces=4, map_s=30, reduce_s=120)
+        .job("clean", maps=12, reduces=2, map_s=20, reduce_s=60, after=["extract"])
+        .job("aggregate", maps=8, reduces=2, map_s=25, reduce_s=90, after=["clean"])
+        .job("report", maps=2, reduces=1, map_s=15, reduce_s=45, after=["aggregate"])
+        .deadline(relative=1800)  # 30 minutes
+        .build()
+    )
+
+    cluster = ClusterConfig(num_nodes=8, map_slots_per_node=2, reduce_slots_per_node=1)
+    sim = ClusterSimulation(
+        cluster,
+        WohaScheduler(),          # progress-based scheduling on the DSL
+        submission="woha",        # client-side plan + submitter job
+        planner=make_planner("lpf"),
+    )
+    sim.add_workflow(workflow)
+    result = sim.run()
+
+    stats = result.stats["etl-pipeline"]
+    print(f"workflow      : {workflow.name} ({len(workflow)} jobs, {workflow.total_tasks} tasks)")
+    print(f"cluster       : {cluster.total_map_slots} map + {cluster.total_reduce_slots} reduce slots")
+    print(f"completed at  : {stats.completion_time:.0f} s (deadline {stats.deadline:.0f} s)")
+    print(f"met deadline  : {stats.met_deadline}")
+    print(f"utilization   : {result.utilization:.2f}")
+
+
+if __name__ == "__main__":
+    main()

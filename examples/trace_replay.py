@@ -1,0 +1,65 @@
+"""Replay the Yahoo!-like workflow trace under every scheduler.
+
+Generates the 61-workflow / 180-job synthetic trace (the stand-in for the
+paper's WebScope data, see DESIGN.md), drops single-job workflows as the
+paper does, and reports deadline satisfaction and tardiness per scheduler
+on a 200m-200r cluster.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro import (
+    ClusterConfig,
+    ClusterSimulation,
+    EdfScheduler,
+    FairScheduler,
+    FifoScheduler,
+    WohaScheduler,
+    make_planner,
+)
+from repro.metrics.report import format_table
+from repro.workloads.yahoo import YahooTraceConfig, generate_yahoo_workflows
+
+
+def main() -> None:
+    workflows = generate_yahoo_workflows(YahooTraceConfig(drop_single_job=True))
+    print(
+        f"trace: {len(workflows)} workflows, {sum(len(w) for w in workflows)} jobs, "
+        f"{sum(w.total_tasks for w in workflows)} tasks\n"
+    )
+    stacks = [
+        ("FIFO", lambda: (FifoScheduler(), "oozie", None)),
+        ("Fair", lambda: (FairScheduler(), "oozie", None)),
+        ("EDF", lambda: (EdfScheduler(), "oozie", None)),
+        ("WOHA-HLF", lambda: (WohaScheduler(), "woha", make_planner("hlf"))),
+        ("WOHA-LPF", lambda: (WohaScheduler(), "woha", make_planner("lpf"))),
+        ("WOHA-MPF", lambda: (WohaScheduler(), "woha", make_planner("mpf"))),
+    ]
+    rows = []
+    for name, factory in stacks:
+        scheduler, mode, planner = factory()
+        cluster = ClusterConfig.from_total_slots(200, 200, nodes=40)
+        sim = ClusterSimulation(cluster, scheduler, submission=mode, planner=planner)
+        sim.add_workflows(workflows)
+        result = sim.run()
+        rows.append(
+            [
+                name,
+                result.miss_ratio,
+                result.max_tardiness,
+                result.total_tardiness,
+                result.makespan,
+                result.utilization,
+            ]
+        )
+    print(
+        format_table(
+            ["scheduler", "miss ratio", "max tardiness (s)", "total tardiness (s)", "makespan (s)", "util"],
+            rows,
+            title="Yahoo!-like trace on a 200m-200r cluster",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

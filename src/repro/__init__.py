@@ -1,0 +1,102 @@
+"""WOHA reproduction: deadline-aware Map-Reduce workflow scheduling.
+
+A full Python reproduction of *WOHA: Deadline-Aware Map-Reduce Workflow
+Scheduling Framework over Hadoop Clusters* (Li et al., ICDCS 2014) on a
+discrete-event Hadoop-1 cluster simulator.
+
+Quickstart::
+
+    from repro import (
+        ClusterConfig, ClusterSimulation, WohaScheduler, make_planner,
+        WorkflowBuilder,
+    )
+
+    wf = (
+        WorkflowBuilder("pipeline")
+        .job("extract", maps=20, reduces=4, map_s=30, reduce_s=120)
+        .job("report", maps=5, reduces=1, map_s=20, reduce_s=60, after=["extract"])
+        .deadline(relative=1800)
+        .build()
+    )
+    sim = ClusterSimulation(
+        ClusterConfig(num_nodes=8),
+        WohaScheduler(),
+        submission="woha",
+        planner=make_planner("lpf"),
+    )
+    sim.add_workflow(wf)
+    result = sim.run()
+    print(result.stats["pipeline"].met_deadline)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduction of every figure in the paper's evaluation.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.failures import FailureInjector, Outage
+from repro.cluster.simulation import ClusterSimulation, SimulationResult, WorkflowStats
+from repro.cluster.speculation import SpeculationManager
+from repro.noise import LognormalNoise
+from repro.registry import parse_scheduler_config, register_plan_generator, register_scheduler
+from repro.workloads.recurrence import Recurrence, expand_recurrences
+from repro.core.capsearch import CapSearchResult, find_min_cap
+from repro.core.client import WohaClient, make_planner
+from repro.core.plangen import generate_requirements
+from repro.core.priorities import PRIORITIZERS, hlf_order, lpf_order, mpf_order
+from repro.core.progress import ProgressEntry, ProgressPlan
+from repro.core.scheduler import NaiveWohaScheduler, WohaScheduler
+from repro.events import Simulator
+from repro.hdfs import HdfsNamespace
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.structures.dsl import DoubleSkipList
+from repro.structures.skiplist import DeterministicSkipList
+from repro.workflow.builder import WorkflowBuilder
+from repro.workflow.model import WJob, Workflow, WorkflowValidationError
+from repro.workflow.xmlconfig import parse_workflow_xml, workflow_to_xml
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterSimulation",
+    "FailureInjector",
+    "Outage",
+    "SpeculationManager",
+    "LognormalNoise",
+    "Recurrence",
+    "expand_recurrences",
+    "parse_scheduler_config",
+    "register_scheduler",
+    "register_plan_generator",
+    "SimulationResult",
+    "WorkflowStats",
+    "CapSearchResult",
+    "find_min_cap",
+    "WohaClient",
+    "make_planner",
+    "generate_requirements",
+    "PRIORITIZERS",
+    "hlf_order",
+    "lpf_order",
+    "mpf_order",
+    "ProgressEntry",
+    "ProgressPlan",
+    "WohaScheduler",
+    "NaiveWohaScheduler",
+    "Simulator",
+    "HdfsNamespace",
+    "EdfScheduler",
+    "FairScheduler",
+    "FifoScheduler",
+    "DoubleSkipList",
+    "DeterministicSkipList",
+    "WorkflowBuilder",
+    "WJob",
+    "Workflow",
+    "WorkflowValidationError",
+    "parse_workflow_xml",
+    "workflow_to_xml",
+    "__version__",
+]

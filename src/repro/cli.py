@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``plan`` — the WOHA client's view: parse a workflow XML, run the cap
+  search and Algorithm 1, print the plan (the ``hadoop dag`` analogue,
+  minus the submission).
+* ``simulate`` — run workflows (XML files and/or a JSON trace) on a
+  simulated cluster under a chosen scheduler and print the evaluation
+  metrics.
+* ``trace`` — generate the Yahoo!-like workflow set to a JSON file for
+  later replay.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.client import make_planner
+from repro.core.scheduler import NaiveWohaScheduler, WohaScheduler
+from repro.metrics.report import format_table
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.workflow.model import Workflow
+from repro.workflow.xmlconfig import parse_workflow_xml
+from repro.workloads.io import load_workflows, save_workflows
+from repro.workloads.yahoo import YahooTraceConfig, generate_yahoo_workflows
+
+__all__ = ["main", "build_parser"]
+
+SCHEDULERS = ("fifo", "fair", "edf", "woha-hlf", "woha-lpf", "woha-mpf")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WOHA reproduction: deadline-aware Map-Reduce workflow scheduling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="generate a workflow's scheduling plan (client side)")
+    plan.add_argument("workflow_xml", help="WOHA workflow configuration file")
+    plan.add_argument("--slots", type=int, default=240, help="system slot count n (default 240)")
+    plan.add_argument("--prioritizer", choices=("hlf", "lpf", "mpf"), default="lpf")
+    plan.add_argument("--no-cap-search", action="store_true", help="plan at the full slot count")
+    plan.add_argument(
+        "--pool", choices=("pooled", "split"), default="pooled",
+        help="pooled = the paper's Algorithm 1; split = map/reduce-aware ablation",
+    )
+    plan.add_argument("--entries", type=int, default=10, help="how many plan steps to print")
+
+    simulate = sub.add_parser("simulate", help="run workflows on a simulated cluster")
+    simulate.add_argument("inputs", nargs="*", help="workflow XML files")
+    simulate.add_argument("--trace", help="JSON workflow-set file (repro trace command output)")
+    simulate.add_argument("--scheduler", choices=SCHEDULERS, default="woha-lpf")
+    simulate.add_argument("--nodes", type=int, default=32)
+    simulate.add_argument("--map-slots", type=int, default=2, help="map slots per node")
+    simulate.add_argument("--reduce-slots", type=int, default=1, help="reduce slots per node")
+    simulate.add_argument("--heartbeat", type=float, default=0.0,
+                          help="heartbeat interval in seconds; 0 = event-driven (default)")
+    simulate.add_argument("--pool", choices=("pooled", "split"), default="pooled")
+
+    trace = sub.add_parser("trace", help="generate the Yahoo!-like workflow set")
+    trace.add_argument("--out", required=True, help="output JSON path")
+    trace.add_argument("--workflows", type=int, default=61)
+    trace.add_argument("--jobs", type=int, default=180)
+    trace.add_argument("--single-job", type=int, default=15)
+    trace.add_argument("--seed", type=int, default=2014)
+    trace.add_argument("--task-scale", type=float, default=0.8)
+    trace.add_argument("--drop-single-job", action="store_true",
+                       help="remove single-job workflows, as the paper's Fig 8-10 do")
+
+    return parser
+
+
+def _make_scheduler(name: str, pool: str):
+    """Resolve a scheduler name to (scheduler, submission mode, planner)."""
+    if name == "fifo":
+        return FifoScheduler(), "oozie", None
+    if name == "fair":
+        return FairScheduler(), "oozie", None
+    if name == "edf":
+        return EdfScheduler(), "oozie", None
+    prioritizer = name.split("-", 1)[1]
+    return WohaScheduler(), "woha", make_planner(prioritizer, pool=pool)
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    with open(args.workflow_xml) as fh:
+        workflow = parse_workflow_xml(fh.read())
+    planner = make_planner(args.prioritizer, cap_search=not args.no_cap_search, pool=args.pool)
+    plan = planner(workflow, args.slots)
+    print(f"workflow      : {workflow.name} ({len(workflow)} jobs, {workflow.total_tasks} tasks)")
+    deadline = workflow.relative_deadline
+    print(f"deadline      : {'best effort' if deadline is None else f'{deadline:g} s relative'}")
+    print(f"resource cap  : {plan.resource_cap} of {args.slots} slots ({args.pool})")
+    print(f"sim makespan  : {plan.makespan:g} s (feasible: {plan.feasible})")
+    print(f"plan size     : {plan.size_bytes} bytes, {len(plan)} steps")
+    print(f"job order     : {' > '.join(plan.job_order)}")
+    shown = plan.entries[: args.entries]
+    print(format_table(
+        ["ttd (s)", "tasks required"],
+        [[e.ttd, e.cum_req] for e in shown],
+        title=f"first {len(shown)} progress requirements",
+        float_fmt="{:.1f}",
+    ))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    workflows: List[Workflow] = []
+    for path in args.inputs:
+        with open(path) as fh:
+            workflows.append(parse_workflow_xml(fh.read()))
+    if args.trace:
+        workflows.extend(load_workflows(args.trace))
+    if not workflows:
+        print("no workflows given (pass XML files and/or --trace)", file=sys.stderr)
+        return 2
+    heartbeat = args.heartbeat if args.heartbeat > 0 else float("inf")
+    config = ClusterConfig(
+        num_nodes=args.nodes,
+        map_slots_per_node=args.map_slots,
+        reduce_slots_per_node=args.reduce_slots,
+        heartbeat_interval=heartbeat,
+    )
+    scheduler, mode, planner = _make_scheduler(args.scheduler, args.pool)
+    sim = ClusterSimulation(config, scheduler, submission=mode, planner=planner)
+    sim.add_workflows(workflows)
+    result = sim.run()
+    rows = [
+        [s.name, s.submit_time, s.completion_time, s.workspan,
+         "-" if s.deadline is None else f"{s.deadline:g}",
+         "yes" if s.met_deadline else f"late {s.tardiness:g}s"]
+        for s in sorted(result.stats.values(), key=lambda s: s.submit_time)
+    ]
+    print(format_table(
+        ["workflow", "submit", "finish", "workspan", "deadline", "met"],
+        rows,
+        title=f"{args.scheduler} on {config.total_map_slots}m-{config.total_reduce_slots}r",
+        float_fmt="{:.1f}",
+    ))
+    print(
+        f"\nmiss ratio {result.miss_ratio:.3f} | max tardiness {result.max_tardiness:.1f}s | "
+        f"total tardiness {result.total_tardiness:.1f}s | utilization {result.utilization:.2f}"
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = YahooTraceConfig(
+        num_workflows=args.workflows,
+        total_jobs=args.jobs,
+        num_single_job=args.single_job,
+        seed=args.seed,
+        task_scale=args.task_scale,
+        drop_single_job=args.drop_single_job,
+    )
+    workflows = generate_yahoo_workflows(config)
+    save_workflows(args.out, workflows)
+    print(
+        f"wrote {len(workflows)} workflows / {sum(len(w) for w in workflows)} jobs / "
+        f"{sum(w.total_tasks for w in workflows)} tasks to {args.out}"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

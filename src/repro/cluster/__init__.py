@@ -1,0 +1,30 @@
+"""Hadoop-1 cluster substrate: a discrete-event slot-level simulator.
+
+The paper evaluates WOHA on Hadoop-1.2.1 over 80 servers; we reproduce the
+scheduling-relevant behaviour of that stack — a JobTracker master assigning
+map/reduce tasks to TaskTracker slots on heartbeats — as a deterministic
+simulation (see DESIGN.md §2 for why this substitution preserves the
+paper's results).
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.tasks import Task, TaskKind
+from repro.cluster.job import JobInProgress, SubmitterJob, JobState
+from repro.cluster.tasktracker import TaskTracker
+from repro.cluster.jobtracker import JobTracker, WorkflowInProgress
+from repro.cluster.simulation import ClusterSimulation, SimulationResult, WorkflowStats
+
+__all__ = [
+    "ClusterConfig",
+    "Task",
+    "TaskKind",
+    "JobInProgress",
+    "SubmitterJob",
+    "JobState",
+    "TaskTracker",
+    "JobTracker",
+    "WorkflowInProgress",
+    "ClusterSimulation",
+    "SimulationResult",
+    "WorkflowStats",
+]

@@ -1,0 +1,327 @@
+"""JobInProgress: the runtime state of one submitted Map-Reduce job.
+
+Mirrors Hadoop-1's ``JobInProgress``: a job exposes runnable map tasks
+immediately, and runnable reduce tasks once every map has *finished*
+(no shuffle overlap — the same model Algorithm 1 uses to build plans, so
+plan and execution agree; see DESIGN.md §5).
+
+Task attempts are tracked by index so lost attempts (tracker failure) can
+be re-queued, and completed map outputs remember the tracker they live on:
+as in Hadoop, losing that tracker before the job's reducers finish forces
+the map to re-execute.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.tasks import Task, TaskKind
+from repro.workflow.model import WJob
+
+__all__ = ["JobState", "JobInProgress", "SubmitterJob"]
+
+DurationSampler = Callable[[TaskKind, int], float]
+"""Optional per-task duration override: ``(kind, index) -> seconds``."""
+
+
+class JobState(enum.Enum):
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+
+
+class JobInProgress:
+    """Runtime counters and task hand-out for one wjob.
+
+    Args:
+        job_id: globally unique id assigned by the JobTracker.
+        wjob: the immutable job description.
+        workflow_name: owning workflow, or ``None`` for standalone jobs.
+        submit_time: when the JobTracker accepted the job.
+        duration_sampler: optional override for individual task durations
+            (used by the estimation-error ablation); defaults to the wjob's
+            ``map_duration`` / ``reduce_duration`` estimates.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        wjob: WJob,
+        workflow_name: Optional[str],
+        submit_time: float,
+        duration_sampler: Optional[DurationSampler] = None,
+    ) -> None:
+        self.job_id = job_id
+        self.wjob = wjob
+        self.workflow_name = workflow_name
+        self.submit_time = submit_time
+        self.finish_time: Optional[float] = None
+        self.state = JobState.RUNNING
+        self._duration_sampler = duration_sampler
+
+        self._pending_maps: Deque[int] = deque(range(wjob.num_maps))
+        self._pending_reduces: Deque[int] = deque(range(wjob.num_reduces))
+        self.maps_finished = 0
+        self.reduces_finished = 0
+        self.running_maps = 0
+        self.running_reduces = 0
+        # index -> tracker id, for finished maps whose output a reducer may
+        # still need to fetch.
+        self._map_output_locations: Dict[int, int] = {}
+
+    # -- introspection used by schedulers --------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.wjob.name
+
+    @property
+    def num_maps(self) -> int:
+        return self.wjob.num_maps
+
+    @property
+    def num_reduces(self) -> int:
+        return self.wjob.num_reduces
+
+    @property
+    def maps_scheduled(self) -> int:
+        """Map attempts handed out and not re-queued."""
+        return self.num_maps - len(self._pending_maps)
+
+    @property
+    def reduces_scheduled(self) -> int:
+        return self.num_reduces - len(self._pending_reduces)
+
+    @property
+    def map_phase_done(self) -> bool:
+        return self.maps_finished >= self.num_maps
+
+    @property
+    def reduces_ready(self) -> bool:
+        """Reduce tasks become runnable once all maps have finished."""
+        return self.map_phase_done
+
+    @property
+    def runnable_maps(self) -> int:
+        return len(self._pending_maps)
+
+    @property
+    def runnable_reduces(self) -> int:
+        if not self.reduces_ready:
+            return 0
+        return len(self._pending_reduces)
+
+    def has_runnable(self, kind: TaskKind) -> bool:
+        if kind.uses_map_slot:
+            return self.runnable_maps > 0
+        return self.runnable_reduces > 0
+
+    @property
+    def completed(self) -> bool:
+        return self.state is JobState.SUCCEEDED
+
+    # -- task hand-out ----------------------------------------------------
+
+    def _duration(self, kind: TaskKind, index: int) -> float:
+        if self._duration_sampler is not None:
+            return self._duration_sampler(kind, index)
+        return self.wjob.map_duration if kind is TaskKind.MAP else self.wjob.reduce_duration
+
+    def obtain_map(self) -> Optional[Task]:
+        """Hand out the next map task, or ``None`` if none is runnable."""
+        if not self._pending_maps:
+            return None
+        index = self._pending_maps.popleft()
+        self.running_maps += 1
+        return Task(job=self, kind=TaskKind.MAP, index=index, duration=self._duration(TaskKind.MAP, index))
+
+    def obtain_reduce(self) -> Optional[Task]:
+        """Hand out the next reduce task (only once the map phase finished)."""
+        if self.runnable_reduces <= 0:
+            return None
+        index = self._pending_reduces.popleft()
+        self.running_reduces += 1
+        return Task(
+            job=self, kind=TaskKind.REDUCE, index=index, duration=self._duration(TaskKind.REDUCE, index)
+        )
+
+    def obtain(self, kind: TaskKind) -> Optional[Task]:
+        return self.obtain_map() if kind.uses_map_slot else self.obtain_reduce()
+
+    # -- completion accounting ---------------------------------------------
+
+    def on_task_complete(self, task: Task, now: float) -> Tuple[bool, bool]:
+        """Account a finished task.
+
+        Returns:
+            ``(map_phase_just_completed, job_just_completed)``.
+        """
+        if task.kind is TaskKind.MAP:
+            self.maps_finished += 1
+            self.running_maps -= 1
+            if self.num_reduces > 0 and task.tracker_id is not None:
+                self._map_output_locations[task.index] = task.tracker_id
+        elif task.kind is TaskKind.REDUCE:
+            self.reduces_finished += 1
+            self.running_reduces -= 1
+        else:
+            raise ValueError(f"plain job got a {task.kind} task completion")
+        maps_done = task.kind is TaskKind.MAP and self.map_phase_done
+        job_done = self.maps_finished >= self.num_maps and self.reduces_finished >= self.num_reduces
+        if job_done and self.state is not JobState.SUCCEEDED:
+            self.state = JobState.SUCCEEDED
+            self.finish_time = now
+            self._map_output_locations.clear()  # outputs now on HDFS
+            return maps_done, True
+        return maps_done, False
+
+    # -- failure handling -----------------------------------------------------
+
+    def on_task_lost(self, task: Task) -> None:
+        """A running attempt died with its tracker; re-queue the task."""
+        if task.kind is TaskKind.MAP:
+            self.running_maps -= 1
+            self._pending_maps.appendleft(task.index)
+        elif task.kind is TaskKind.REDUCE:
+            self.running_reduces -= 1
+            self._pending_reduces.appendleft(task.index)
+        else:
+            raise ValueError(f"plain job got a {task.kind} task loss")
+
+    def on_backup_launched(self, backup: Task) -> None:
+        """A speculative duplicate of a running attempt starts (it occupies
+        a slot but re-covers an index already handed out)."""
+        if backup.kind is TaskKind.MAP:
+            self.running_maps += 1
+        else:
+            self.running_reduces += 1
+
+    def on_attempt_killed(self, task: Task) -> None:
+        """An attempt was retired (its sibling won, or died with a sibling
+        still covering the index): adjust occupancy only — the logical task
+        stays covered."""
+        if task.kind is TaskKind.MAP:
+            self.running_maps -= 1
+        elif task.kind is TaskKind.REDUCE:
+            self.running_reduces -= 1
+        else:
+            raise ValueError(f"plain job got a {task.kind} attempt kill")
+
+    def invalidate_map_outputs(self, tracker_id: int) -> int:
+        """Re-queue finished maps whose output lived on a lost tracker.
+
+        Hadoop re-executes completed map tasks when the node holding their
+        intermediate output dies before every reducer has fetched it.  Only
+        relevant while the job is still running; finished jobs' outputs are
+        on (replicated) HDFS.  Returns how many maps must re-run.
+        """
+        if self.completed:
+            return 0
+        doomed = [idx for idx, tid in self._map_output_locations.items() if tid == tracker_id]
+        for idx in doomed:
+            del self._map_output_locations[idx]
+            self.maps_finished -= 1
+            self._pending_maps.append(idx)
+        return len(doomed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"JobInProgress({self.job_id}, maps {self.maps_finished}/{self.num_maps}, "
+            f"reduces {self.reduces_finished}/{self.num_reduces}, {self.state.value})"
+        )
+
+
+class SubmitterJob(JobInProgress):
+    """WOHA's per-workflow map-only submitter job (§III-A).
+
+    One gated map task per wjob: the task for ``J_i^j`` is *unlocked* only
+    when every job in ``P_i^j`` has finished.  Running the task (for
+    ``submit_task_duration`` seconds on a map slot) models loading the
+    wjob's jar and initialising its tasks on a slave; on completion the
+    JobTracker submits the wjob.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        workflow_name: str,
+        wjob_names: Sequence[str],
+        submit_time: float,
+        task_duration: float,
+    ) -> None:
+        # Give the base class a synthetic map-only description of the right
+        # size; durations are the submit-task cost.
+        spec = WJob(
+            name=f"{workflow_name}.submitter",
+            num_maps=len(wjob_names),
+            num_reduces=0,
+            map_duration=max(task_duration, 1e-9),
+            reduce_duration=0.0,
+        )
+        super().__init__(job_id, spec, workflow_name, submit_time)
+        self._task_duration = task_duration
+        self._order: Tuple[str, ...] = tuple(wjob_names)
+        self._unlocked: Deque[str] = deque()
+        self._dispatched: Set[str] = set()
+        self._next_index = 0
+
+    def unlock(self, wjob_name: str) -> None:
+        """Make the submit task for ``wjob_name`` runnable."""
+        if wjob_name not in self._order:
+            raise KeyError(f"{self.job_id}: unknown wjob {wjob_name!r}")
+        if wjob_name in self._dispatched or wjob_name in self._unlocked:
+            raise ValueError(f"{self.job_id}: wjob {wjob_name!r} unlocked twice")
+        self._unlocked.append(wjob_name)
+
+    @property
+    def maps_scheduled(self) -> int:
+        return self._next_index
+
+    @property
+    def runnable_maps(self) -> int:
+        return len(self._unlocked)
+
+    @property
+    def runnable_reduces(self) -> int:
+        return 0
+
+    def obtain_map(self) -> Optional[Task]:
+        if not self._unlocked:
+            return None
+        wjob_name = self._unlocked.popleft()
+        self._dispatched.add(wjob_name)
+        index = self._next_index
+        self._next_index += 1
+        self.running_maps += 1
+        return Task(
+            job=self,
+            kind=TaskKind.SUBMIT,
+            index=index,
+            duration=self._task_duration,
+            payload=wjob_name,
+        )
+
+    def on_task_complete(self, task: Task, now: float) -> Tuple[bool, bool]:
+        if task.kind is not TaskKind.SUBMIT:
+            raise ValueError(f"submitter job got a {task.kind} task completion")
+        self.maps_finished += 1
+        self.running_maps -= 1
+        job_done = self.maps_finished >= self.num_maps
+        if job_done and self.state is not JobState.SUCCEEDED:
+            self.state = JobState.SUCCEEDED
+            self.finish_time = now
+            return True, True
+        return False, False
+
+    def on_task_lost(self, task: Task) -> None:
+        """A dying submit task re-arms its wjob's submission."""
+        if task.kind is not TaskKind.SUBMIT:
+            raise ValueError(f"submitter job got a {task.kind} task loss")
+        self.running_maps -= 1
+        self._dispatched.discard(task.payload)
+        self._unlocked.appendleft(task.payload)
+
+    def invalidate_map_outputs(self, tracker_id: int) -> int:
+        """Submit tasks leave nothing behind on the tracker."""
+        return 0

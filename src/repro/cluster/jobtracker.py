@@ -1,0 +1,451 @@
+"""The JobTracker: Hadoop-1's master node.
+
+Responsibilities mirrored from Hadoop-1.2.1 + WOHA's extensions:
+
+* accept workflow and job submissions, hand out unique ids;
+* on each heartbeat, ask the pluggable Workflow Scheduler for tasks to fill
+  the reporting tracker's free slots;
+* track task completions, free slots, advance job/workflow state;
+* (WOHA mode) hold each workflow's scheduling plan, run the map-only
+  submitter job, and unlock submitter tasks as prerequisites finish.
+
+The JobTracker deliberately performs **no workflow analysis** — that is the
+paper's core design constraint (§III-A).  Plans arrive pre-computed from
+clients; dependency bookkeeping is O(edges) counter decrements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.job import JobInProgress, SubmitterJob
+from repro.cluster.tasks import Task, TaskKind
+from repro.cluster.tasktracker import TaskTracker
+from repro.events import Simulator
+from repro.schedulers.base import WorkflowScheduler
+from repro.workflow.model import Workflow
+
+__all__ = ["WorkflowInProgress", "JobTracker"]
+
+
+class WorkflowInProgress:
+    """Master-side runtime state of one submitted workflow.
+
+    Attributes:
+        definition: the immutable :class:`Workflow`.
+        wf_id: JobTracker-assigned unique id.
+        plan: the scheduling plan shipped by the client (WOHA mode), opaque
+            to the JobTracker itself; the Workflow Scheduler interprets it.
+        scheduled_tasks: the *true progress* ``rho_i`` of §IV-B — wjob tasks
+            launched so far (submitter tasks do not count; they are not part
+            of the plan's task population).
+    """
+
+    def __init__(self, definition: Workflow, wf_id: str, submit_time: float) -> None:
+        self.definition = definition
+        self.wf_id = wf_id
+        self.submit_time = submit_time
+        self.plan = None  # type: object
+        self.submitter: Optional[SubmitterJob] = None
+        self.jobs: Dict[str, JobInProgress] = {}
+        self.completed: Set[str] = set()
+        self.pending_prereqs: Dict[str, Set[str]] = {
+            job.name: set(job.prerequisites) for job in definition.jobs
+        }
+        self.scheduled_tasks = 0
+        self.completion_time: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def deadline(self) -> Optional[float]:
+        return self.definition.deadline
+
+    @property
+    def done(self) -> bool:
+        return len(self.completed) == len(self.definition)
+
+    @property
+    def total_tasks(self) -> int:
+        return self.definition.total_tasks
+
+    def ready_wjobs(self) -> List[str]:
+        """Wjobs whose prerequisites have all finished and which are not yet
+        submitted, in the workflow's deterministic topological order."""
+        return [
+            name
+            for name in self.definition.topological_order()
+            if not self.pending_prereqs[name] and name not in self.jobs
+        ]
+
+    def active_jobs(self) -> List[JobInProgress]:
+        """Submitted-but-unfinished wjobs, submission-ordered."""
+        return [jip for jip in self.jobs.values() if not jip.completed]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WorkflowInProgress({self.name!r}, {len(self.completed)}/{len(self.definition)} jobs, "
+            f"rho={self.scheduled_tasks})"
+        )
+
+
+class JobTracker:
+    """The master node.
+
+    Args:
+        sim: the discrete-event engine everything runs on.
+        config: cluster sizing/timing.
+        scheduler: the Workflow Scheduler policy to consult.
+
+    Listener objects registered via :meth:`add_listener` receive the hooks
+    they define out of: ``on_task_launch``, ``on_task_complete``,
+    ``on_wjob_submitted``, ``on_job_completed``, ``on_workflow_submitted``,
+    ``on_workflow_completed``.  Metrics collectors and the Oozie-lite
+    coordinator are both plain listeners.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: ClusterConfig,
+        scheduler: WorkflowScheduler,
+        duration_sampler_factory: Optional[Callable] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.scheduler = scheduler
+        # Optional per-job actual-duration override (estimation-error
+        # ablation); plans always see the declared estimates.
+        self.duration_sampler_factory = duration_sampler_factory
+        self.trackers: List[TaskTracker] = [
+            TaskTracker(i, config.map_slots_per_node, config.reduce_slots_per_node)
+            for i in range(config.num_nodes)
+        ]
+        self.workflows: Dict[str, WorkflowInProgress] = {}  # by workflow name
+        self.jobs: List[JobInProgress] = []  # submission order, all kinds
+        self._job_seq = itertools.count(1)
+        self._wf_seq = itertools.count(1)
+        self._free_maps = config.total_map_slots
+        self._free_reduces = config.total_reduce_slots
+        self._rr_pointer = 0  # round-robin start for tracker selection
+        self._listeners: List[object] = []
+        self._in_round = False
+        self.speculator = None  # optional SpeculationManager
+        scheduler.bind(self)
+
+    def attach_speculator(self, speculator: object) -> None:
+        """Enable speculative execution (see :mod:`repro.cluster.speculation`)."""
+        self.speculator = speculator
+
+    # -- listeners ---------------------------------------------------------
+
+    def add_listener(self, listener: object) -> None:
+        """Register an event listener (metrics, Oozie, post-mortem, ...)."""
+        self._listeners.append(listener)
+
+    def _notify(self, hook: str, *args) -> None:
+        for listener in self._listeners:
+            fn = getattr(listener, hook, None)
+            if fn is not None:
+                fn(*args)
+
+    # -- cluster introspection ----------------------------------------------
+
+    @property
+    def total_slots(self) -> int:
+        """What a WOHA client gets when it asks for the system slot count."""
+        return self.config.total_slots
+
+    def free_slots(self, kind: TaskKind) -> int:
+        """Cluster-wide free slots of the given kind."""
+        return self._free_maps if kind.uses_map_slot else self._free_reduces
+
+    def running_wjob_count(self) -> int:
+        """Unfinished wjobs currently registered (submitter jobs excluded)."""
+        return sum(1 for jip in self.jobs if not jip.completed and not isinstance(jip, SubmitterJob))
+
+    # -- submission paths ----------------------------------------------------
+
+    def submit_workflow(self, workflow: Workflow, plan: object = None, use_submitter: bool = True) -> WorkflowInProgress:
+        """Register a workflow's configuration (WOHA client path, steps e-i).
+
+        With ``use_submitter`` (WOHA mode) a map-only submitter job is
+        created whose tasks, once run on slaves, submit the wjobs; root
+        wjobs are unlocked immediately.  With ``use_submitter=False`` the
+        caller (Oozie-lite) submits wjobs itself via :meth:`submit_wjob`.
+        """
+        if workflow.name in self.workflows:
+            raise ValueError(f"workflow name {workflow.name!r} already submitted")
+        wf_id = f"wf_{next(self._wf_seq):06d}"
+        wip = WorkflowInProgress(workflow, wf_id, self.sim.now)
+        wip.plan = plan
+        self.workflows[workflow.name] = wip
+        self._notify("on_workflow_submitted", wip, self.sim.now)
+        self.scheduler.on_workflow_submitted(wip, self.sim.now)
+        if use_submitter:
+            submitter = SubmitterJob(
+                job_id=f"job_{next(self._job_seq):06d}",
+                workflow_name=workflow.name,
+                wjob_names=workflow.topological_order(),
+                submit_time=self.sim.now,
+                task_duration=self.config.submit_task_duration,
+            )
+            wip.submitter = submitter
+            self.jobs.append(submitter)
+            for name in workflow.roots():
+                submitter.unlock(name)
+            self.scheduler.on_wjob_submitted(submitter, self.sim.now)
+        self.schedule_round()
+        return wip
+
+    def submit_wjob(self, workflow_name: str, wjob_name: str) -> JobInProgress:
+        """Register one wjob as a runnable Hadoop job (submitter / Oozie path)."""
+        wip = self.workflows[workflow_name]
+        if wjob_name in wip.jobs:
+            raise ValueError(f"{workflow_name}/{wjob_name} submitted twice")
+        if wip.pending_prereqs[wjob_name]:
+            raise ValueError(
+                f"{workflow_name}/{wjob_name} submitted with unfinished prerequisites "
+                f"{sorted(wip.pending_prereqs[wjob_name])}"
+            )
+        wjob = wip.definition.job(wjob_name)
+        sampler = None
+        if self.duration_sampler_factory is not None:
+            sampler = self.duration_sampler_factory(wjob)
+        jip = JobInProgress(
+            job_id=f"job_{next(self._job_seq):06d}",
+            wjob=wjob,
+            workflow_name=workflow_name,
+            submit_time=self.sim.now,
+            duration_sampler=sampler,
+        )
+        wip.jobs[wjob_name] = jip
+        self.jobs.append(jip)
+        self._notify("on_wjob_submitted", jip, self.sim.now)
+        self.scheduler.on_wjob_submitted(jip, self.sim.now)
+        self.schedule_round()
+        return jip
+
+    # -- heartbeats & assignment ---------------------------------------------
+
+    def start_heartbeats(self) -> None:
+        """Begin each tracker's periodic heartbeat loop.
+
+        Trackers are staggered across the first interval so the master does
+        not see all heartbeats at the same instant (as in a real cluster).
+        An infinite ``heartbeat_interval`` disables the periodic loop —
+        useful for large sweeps where ``eager_heartbeats`` already covers
+        every scheduling opportunity.
+        """
+        interval = self.config.heartbeat_interval
+        if interval == float("inf"):
+            return
+        for tracker in self.trackers:
+            offset = interval * (tracker.tracker_id + 1) / len(self.trackers)
+            self.sim.schedule(self.sim.now + offset, self._heartbeat_tick, tracker)
+
+    def _heartbeat_tick(self, tracker: TaskTracker) -> None:
+        if tracker.alive:
+            self.heartbeat(tracker)
+            self.sim.schedule_after(self.config.heartbeat_interval, self._heartbeat_tick, tracker)
+
+    def heartbeat(self, tracker: TaskTracker) -> List[Task]:
+        """One tracker reports in; fill its free slots from the scheduler."""
+        launched: List[Task] = []
+        for kind in (TaskKind.MAP, TaskKind.REDUCE):
+            while tracker.free_slots(kind) > 0:
+                task = self.scheduler.select_task(kind, self.sim.now)
+                if task is None:
+                    break
+                self._launch(task, tracker)
+                launched.append(task)
+        return launched
+
+    def schedule_round(self) -> None:
+        """Cluster-wide assignment sweep (out-of-band heartbeat path).
+
+        Because no scheduler here is locality-aware, one ``None`` answer
+        from the scheduler means no tracker can be served, so the sweep is
+        O(assignments), not O(trackers x assignments).
+        """
+        if not self.config.eager_heartbeats or self._in_round:
+            # Re-entrant calls (a submission triggered from within a
+            # completion) fold into the outer round's loop.
+            return
+        self._in_round = True
+        try:
+            for kind in (TaskKind.MAP, TaskKind.REDUCE):
+                while self.free_slots(kind) > 0:
+                    task = self.scheduler.select_task(kind, self.sim.now)
+                    if task is None and self.speculator is not None:
+                        # Idle slots may back up stragglers (Hadoop's
+                        # speculative execution kicks in when the regular
+                        # scheduler has nothing to assign).
+                        task = self.speculator.select_backup(kind, self.sim.now)
+                    if task is None:
+                        break
+                    tracker = self._pick_tracker(kind)
+                    self._launch(task, tracker)
+        finally:
+            self._in_round = False
+
+    def _pick_tracker(self, kind: TaskKind) -> TaskTracker:
+        """Round-robin over trackers with a free slot of ``kind``."""
+        n = len(self.trackers)
+        for i in range(n):
+            tracker = self.trackers[(self._rr_pointer + i) % n]
+            if tracker.alive and tracker.free_slots(kind) > 0:
+                self._rr_pointer = (self._rr_pointer + i + 1) % n
+                return tracker
+        raise RuntimeError("no free slot despite positive cluster-wide count")
+
+    def _launch(self, task: Task, tracker: TaskTracker) -> None:
+        tracker.occupy(task)
+        if task.kind.uses_map_slot:
+            self._free_maps -= 1
+        else:
+            self._free_reduces -= 1
+        task.launch_time = self.sim.now
+        if task.kind is not TaskKind.SUBMIT and task.workflow_name is not None and not task.speculative:
+            # Backup attempts duplicate an index already counted in rho.
+            self.workflows[task.workflow_name].scheduled_tasks += 1
+        if not task.speculative:
+            self.scheduler.on_task_assigned(task, self.sim.now)
+        self._notify("on_task_launch", task, self.sim.now)
+        task.completion_handle = self.sim.schedule_after(
+            task.duration, self._complete_task, task, tracker
+        )
+
+    # -- completion ----------------------------------------------------------
+
+    def _complete_task(self, task: Task, tracker: TaskTracker) -> None:
+        now = self.sim.now
+        tracker.release(task)
+        if task.kind.uses_map_slot:
+            self._free_maps += 1
+        else:
+            self._free_reduces += 1
+        task.finish_time = now
+        if self.speculator is not None:
+            # This attempt committed; retire any sibling attempts first so
+            # the logical task is accounted exactly once.
+            for loser in self.speculator.commit(task):
+                self._kill_attempt(loser)
+        _maps_done, job_done = task.job.on_task_complete(task, now)
+        self._notify("on_task_complete", task, now)
+
+        if task.kind is TaskKind.SUBMIT:
+            # The submitter map task loaded the wjob's jar and initialised
+            # its tasks on this slave; the wjob now reaches the master.
+            self.submit_wjob(task.job.workflow_name, task.payload)
+            if job_done:
+                self.scheduler.on_job_completed(task.job, now)
+        elif job_done:
+            self._on_wjob_completed(task.job, now)
+        self.schedule_round()
+
+    def _kill_attempt(self, task: Task) -> None:
+        """Retire a running attempt whose logical task is covered elsewhere."""
+        if task.completion_handle is not None:
+            task.completion_handle.cancel()
+        tracker = self.trackers[task.tracker_id]
+        tracker.release(task)
+        if tracker.alive:
+            if task.kind.uses_map_slot:
+                self._free_maps += 1
+            else:
+                self._free_reduces += 1
+        task.job.on_attempt_killed(task)
+        self._notify("on_task_lost", task, self.sim.now)
+
+    # -- failure handling ------------------------------------------------------
+
+    def kill_tracker(self, tracker_id: int) -> List[Task]:
+        """A TaskTracker stops heartbeating: Hadoop's node-failure path.
+
+        Running attempts die and are re-queued on their jobs; finished map
+        outputs stored on the node are invalidated for still-running jobs
+        (their maps re-execute); WOHA submit tasks re-arm.  The node's
+        slots leave the capacity pool until :meth:`revive_tracker`.
+
+        Returns the task attempts that were lost.
+        """
+        tracker = self.trackers[tracker_id]
+        if not tracker.alive:
+            raise ValueError(f"tracker {tracker_id} is already dead")
+        now = self.sim.now
+        tracker.alive = False
+        # Idle slots leave the pool.
+        self._free_maps -= tracker.free_map_slots
+        self._free_reduces -= tracker.free_reduce_slots
+        lost = list(tracker.running)
+        for task in lost:
+            if task.completion_handle is not None:
+                task.completion_handle.cancel()
+            tracker.release(task)
+            if self.speculator is not None and self.speculator.has_sibling(task):
+                # A backup still covers the index; nothing to re-queue.
+                task.job.on_attempt_killed(task)
+            else:
+                # The index is now uncovered: re-queue it and roll back the
+                # single rho increment its original launch made (whichever
+                # attempt happened to die last).
+                task.job.on_task_lost(task)
+                if task.kind is not TaskKind.SUBMIT and task.workflow_name is not None:
+                    self.workflows[task.workflow_name].scheduled_tasks -= 1
+            self._notify("on_task_lost", task, now)
+        # Re-execute completed maps whose intermediate output died with the
+        # node (only jobs with unfinished reducers are affected).
+        for jip in self.jobs:
+            if jip.completed:
+                continue
+            rerun = jip.invalidate_map_outputs(tracker_id)
+            if rerun and jip.workflow_name is not None:
+                self.workflows[jip.workflow_name].scheduled_tasks -= rerun
+        self.schedule_round()
+        return lost
+
+    def revive_tracker(self, tracker_id: int) -> None:
+        """Bring a failed tracker back with empty slots."""
+        tracker = self.trackers[tracker_id]
+        if tracker.alive:
+            raise ValueError(f"tracker {tracker_id} is already alive")
+        tracker.alive = True
+        self._free_maps += tracker.free_map_slots
+        self._free_reduces += tracker.free_reduce_slots
+        if self.config.heartbeat_interval != float("inf"):
+            self.sim.schedule_after(self.config.heartbeat_interval, self._heartbeat_tick, tracker)
+        self.schedule_round()
+
+    def _on_wjob_completed(self, jip: JobInProgress, now: float) -> None:
+        wf_name = jip.workflow_name
+        if wf_name is None:
+            self.scheduler.on_job_completed(jip, now)
+            self._notify("on_job_completed", jip, now)
+            return
+        # Dependency bookkeeping must precede the completion notifications:
+        # the Oozie-lite coordinator reacts to `on_job_completed` by asking
+        # which wjobs are now ready.
+        wip = self.workflows[wf_name]
+        wip.completed.add(jip.name)
+        # Unlock dependents.  In WOHA mode the JobTracker holds the
+        # topology (it arrived with the configuration) and pokes the
+        # submitter job; in Oozie mode only the coordinator (a listener)
+        # reacts, preserving the paper's information separation.
+        # (sorted: frozenset iteration is hash-ordered, which would make
+        # unlock order — and thus entire runs — vary across processes.)
+        for dep in sorted(wip.definition.dependents(jip.name)):
+            pending = wip.pending_prereqs[dep]
+            pending.discard(jip.name)
+            if not pending and wip.submitter is not None:
+                wip.submitter.unlock(dep)
+        self.scheduler.on_job_completed(jip, now)
+        self._notify("on_job_completed", jip, now)
+        if wip.done and wip.completion_time is None:
+            wip.completion_time = now
+            self.scheduler.on_workflow_completed(wip, now)
+            self._notify("on_workflow_completed", wip, now)

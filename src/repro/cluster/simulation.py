@@ -1,0 +1,189 @@
+"""High-level simulation driver: workflows in, evaluation stats out.
+
+:class:`ClusterSimulation` wires the engine, JobTracker, metrics collector
+and a submission path together:
+
+* ``submission="oozie"`` — the baseline stack: an Oozie-lite coordinator
+  submits wjobs as they become ready; the scheduler sees independent jobs
+  (plus whatever workflow attributes, like deadlines, it chooses to read).
+* ``submission="woha"`` — the WOHA stack: each workflow is submitted with a
+  client-computed scheduling plan and a map-only submitter job that
+  materialises wjobs on slaves.
+
+The ``planner`` callable is invoked at submission time with
+``(workflow, total_slots)`` — exactly the information a WOHA client gets
+from the master — and returns the plan object shipped with the
+configuration.  :func:`repro.core.client.make_planner` builds the paper's
+progress-based planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.jobtracker import JobTracker
+from repro.events import Simulator
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import deadline_miss_ratio, max_tardiness, total_tardiness
+from repro.oozie import OozieCoordinator
+from repro.schedulers.base import WorkflowScheduler
+from repro.workflow.model import Workflow
+
+__all__ = ["WorkflowStats", "SimulationResult", "ClusterSimulation"]
+
+Planner = Callable[[Workflow, int], object]
+
+
+@dataclass(frozen=True)
+class WorkflowStats:
+    """Completion summary for one workflow."""
+
+    name: str
+    submit_time: float
+    completion_time: float
+    deadline: Optional[float]
+
+    @property
+    def workspan(self) -> float:
+        """Completion minus submission — the Fig 11 metric."""
+        return self.completion_time - self.submit_time
+
+    @property
+    def tardiness(self) -> float:
+        """``max(0, completion - deadline)``; 0 for best-effort workflows."""
+        if self.deadline is None:
+            return 0.0
+        return max(0.0, self.completion_time - self.deadline)
+
+    @property
+    def met_deadline(self) -> bool:
+        """True when the workflow finished by its deadline (or has none)."""
+        return self.deadline is None or self.completion_time <= self.deadline
+
+
+@dataclass
+class SimulationResult:
+    """Everything a bench or test wants from one simulation run."""
+
+    stats: Dict[str, WorkflowStats]
+    metrics: MetricsCollector
+    makespan: float
+    events_processed: int
+
+    @property
+    def miss_ratio(self) -> float:
+        return deadline_miss_ratio(self.stats.values())
+
+    @property
+    def max_tardiness(self) -> float:
+        return max_tardiness(self.stats.values())
+
+    @property
+    def total_tardiness(self) -> float:
+        return total_tardiness(self.stats.values())
+
+    def workspan(self, workflow_name: str) -> float:
+        return self.stats[workflow_name].workspan
+
+    @property
+    def utilization(self) -> float:
+        return self.metrics.utilization()
+
+
+class ClusterSimulation:
+    """One simulated cluster run.
+
+    Args:
+        config: cluster sizing/timing.
+        scheduler: the Workflow Scheduler policy (a fresh instance per run;
+            schedulers hold queue state).
+        submission: ``"oozie"`` or ``"woha"`` (see module docstring).
+        planner: WOHA-mode plan generator, called at each workflow's
+            submission time.  Ignored in oozie mode.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        scheduler: WorkflowScheduler,
+        submission: str = "oozie",
+        planner: Optional[Planner] = None,
+        duration_sampler_factory: Optional[Callable] = None,
+    ) -> None:
+        if submission not in ("oozie", "woha"):
+            raise ValueError(f"unknown submission mode {submission!r}")
+        self.config = config
+        self.submission = submission
+        self.planner = planner
+        self.sim = Simulator()
+        self.jobtracker = JobTracker(
+            self.sim, config, scheduler, duration_sampler_factory=duration_sampler_factory
+        )
+        self.metrics = MetricsCollector(config)
+        self.jobtracker.add_listener(self.metrics)
+        self.oozie: Optional[OozieCoordinator] = None
+        if submission == "oozie":
+            self.oozie = OozieCoordinator(self.sim, self.jobtracker)
+        self._workflows: List[Workflow] = []
+
+    def add_workflow(self, workflow: Workflow) -> None:
+        """Queue a workflow for submission at its ``submit_time``."""
+        self._workflows.append(workflow)
+        self.sim.schedule(workflow.submit_time, self._submit, workflow)
+
+    def add_workflows(self, workflows: Iterable[Workflow]) -> None:
+        for workflow in workflows:
+            self.add_workflow(workflow)
+
+    def _submit(self, workflow: Workflow) -> None:
+        if self.submission == "woha":
+            plan = None
+            if self.planner is not None:
+                # The client queries the master for the system slot count
+                # and computes the plan locally (paper steps a-f).
+                plan = self.planner(workflow, self.jobtracker.total_slots)
+            self.jobtracker.submit_workflow(workflow, plan=plan, use_submitter=True)
+        else:
+            self.oozie.submit_workflow(workflow)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> SimulationResult:
+        """Run to completion (or ``until``) and summarise."""
+        self.jobtracker.start_heartbeats()
+        # With periodic heartbeats the event queue never drains (trackers
+        # re-arm forever), so stop once all workflows have completed: run in
+        # bounded slices and check.
+        if self.config.heartbeat_interval == float("inf"):
+            self.sim.run(until=until, max_events=max_events)
+        else:
+            horizon = until if until is not None else float("inf")
+            while self.sim.now < horizon and not self._all_done():
+                if not self.sim.step():
+                    break
+        makespan = max(
+            (wip.completion_time for wip in self.jobtracker.workflows.values()
+             if wip.completion_time is not None),
+            default=self.sim.now,
+        )
+        stats = {
+            wip.name: WorkflowStats(
+                name=wip.name,
+                submit_time=wip.submit_time,
+                completion_time=wip.completion_time if wip.completion_time is not None else float("inf"),
+                deadline=wip.deadline,
+            )
+            for wip in self.jobtracker.workflows.values()
+        }
+        return SimulationResult(
+            stats=stats,
+            metrics=self.metrics,
+            makespan=makespan,
+            events_processed=self.sim.processed_events,
+        )
+
+    def _all_done(self) -> bool:
+        wfs = self.jobtracker.workflows
+        return len(wfs) == len(self._workflows) and all(
+            wip.completion_time is not None for wip in wfs.values()
+        )

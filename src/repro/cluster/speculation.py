@@ -1,0 +1,166 @@
+"""Speculative execution: Hadoop's straggler mitigation.
+
+Hadoop-1 launches a *backup attempt* for a task that runs far behind its
+peers; whichever attempt finishes first commits and the other is killed.
+Stragglers matter to WOHA because a single slow task at a workflow's join
+point stalls the whole plan.
+
+Policy (a simplified LATE): an attempt is speculation-eligible once it has
+run longer than ``slow_factor`` times its estimated duration (and at least
+``min_runtime`` seconds), and has no live backup.  The backup's duration is
+drawn as a *fresh* execution — by default the job's estimate — modelling a
+re-run on a healthy node.
+
+Wire-up::
+
+    sim = ClusterSimulation(...)
+    speculator = SpeculationManager(sim.sim, sim.jobtracker)
+
+The manager registers itself with the JobTracker; the JobTracker consults
+it whenever the Workflow Scheduler leaves slots idle, and lets it kill the
+losing attempt on commit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.jobtracker import JobTracker
+from repro.cluster.tasks import Task, TaskKind
+from repro.events import Simulator
+
+__all__ = ["SpeculationManager"]
+
+_Key = Tuple[str, str, int]  # (job_id, kind value, task index)
+
+
+def _key(task: Task) -> _Key:
+    return (task.job.job_id, task.kind.value, task.index)
+
+
+class SpeculationManager:
+    """Tracks running attempts and proposes/retires backups.
+
+    Args:
+        sim: the event engine (for the periodic eligibility check).
+        jobtracker: the master to attach to.
+        slow_factor: an attempt is a straggler once its elapsed time
+            exceeds this multiple of its estimated duration.
+        min_runtime: never speculate on attempts younger than this.
+        check_interval: how often to re-examine eligibility when no other
+            scheduling event does it first.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        jobtracker: JobTracker,
+        slow_factor: float = 1.5,
+        min_runtime: float = 10.0,
+        check_interval: float = 10.0,
+    ) -> None:
+        if slow_factor <= 1.0:
+            raise ValueError("slow_factor must exceed 1.0")
+        self.sim = sim
+        self.jobtracker = jobtracker
+        self.slow_factor = slow_factor
+        self.min_runtime = min_runtime
+        self.check_interval = check_interval
+        self._attempts: Dict[_Key, List[Task]] = {}
+        self.backups_launched = 0
+        self.backups_won = 0
+        self._ticking = False
+        jobtracker.attach_speculator(self)
+        jobtracker.add_listener(self)
+
+    # -- listener hooks (attempt tracking) ----------------------------------
+
+    def on_task_launch(self, task: Task, now: float) -> None:
+        if task.kind is TaskKind.SUBMIT:
+            return
+        self._attempts.setdefault(_key(task), []).append(task)
+        if task.speculative:
+            self.backups_launched += 1
+        self._ensure_ticking()
+
+    def _forget(self, task: Task) -> None:
+        attempts = self._attempts.get(_key(task))
+        if attempts is None:
+            return
+        try:
+            attempts.remove(task)
+        except ValueError:
+            pass
+        if not attempts:
+            self._attempts.pop(_key(task), None)
+
+    def on_task_lost(self, task: Task, now: float) -> None:
+        self._forget(task)
+
+    # -- JobTracker integration ------------------------------------------------
+
+    def commit(self, winner: Task) -> List[Task]:
+        """An attempt finished; return the sibling attempts to kill."""
+        key = _key(winner)
+        siblings = [t for t in self._attempts.pop(key, []) if t is not winner]
+        if winner.speculative:
+            self.backups_won += 1
+        return siblings
+
+    def has_sibling(self, task: Task) -> bool:
+        """True when another live attempt covers the same logical task."""
+        return len(self._attempts.get(_key(task), [])) > 1
+
+    def select_backup(self, kind: TaskKind, now: float) -> Optional[Task]:
+        """Pick one straggling attempt of ``kind`` worth backing up."""
+        best: Optional[Task] = None
+        best_overrun = 0.0
+        for attempts in self._attempts.values():
+            if len(attempts) != 1:
+                continue  # already backed up
+            original = attempts[0]
+            if original.kind.uses_map_slot is not kind.uses_map_slot:
+                continue
+            if original.job.completed:
+                continue
+            launch = original.launch_time if original.launch_time is not None else now
+            elapsed = now - launch
+            estimate = self._estimate(original)
+            if elapsed < max(self.min_runtime, self.slow_factor * estimate):
+                continue
+            overrun = elapsed / estimate if estimate > 0 else float("inf")
+            if best is None or overrun > best_overrun:
+                best, best_overrun = original, overrun
+        if best is None:
+            return None
+        return self._make_backup(best)
+
+    def _estimate(self, task: Task) -> float:
+        wjob = task.job.wjob
+        return wjob.map_duration if task.kind is TaskKind.MAP else wjob.reduce_duration
+
+    def _make_backup(self, original: Task) -> Task:
+        """A fresh attempt of the same logical task at nominal speed."""
+        backup = Task(
+            job=original.job,
+            kind=original.kind,
+            index=original.index,
+            duration=self._estimate(original),
+            speculative=True,
+        )
+        original.job.on_backup_launched(backup)
+        return backup
+
+    # -- periodic eligibility check ----------------------------------------------
+
+    def _ensure_ticking(self) -> None:
+        if not self._ticking and self.check_interval > 0:
+            self._ticking = True
+            self.sim.schedule_after(self.check_interval, self._tick)
+
+    def _tick(self) -> None:
+        self._ticking = False
+        if not self._attempts:
+            return  # idle; launches restart the ticker
+        self.jobtracker.schedule_round()
+        self._ensure_ticking()

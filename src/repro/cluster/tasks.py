@@ -1,0 +1,69 @@
+"""Task-level model: the unit the JobTracker assigns to a slot."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.cluster.job import JobInProgress
+
+__all__ = ["TaskKind", "Task"]
+
+
+class TaskKind(enum.Enum):
+    """Which slot type a task occupies.
+
+    WOHA submitter tasks (``SUBMIT``) are map tasks of the per-workflow
+    map-only submitter job (§III-A); they occupy a *map slot* but carry a
+    wjob name to submit instead of user work.
+    """
+
+    MAP = "map"
+    REDUCE = "reduce"
+    SUBMIT = "submit"
+
+    @property
+    def uses_map_slot(self) -> bool:
+        return self is not TaskKind.REDUCE
+
+
+@dataclass(eq=False)  # identity equality/hash: each attempt is a distinct object
+class Task:
+    """One task attempt.
+
+    Attributes:
+        job: the owning :class:`~repro.cluster.job.JobInProgress`.
+        kind: MAP / REDUCE / SUBMIT.
+        index: task index within its phase.
+        duration: simulated execution seconds.
+        payload: for SUBMIT tasks, the name of the wjob this task submits.
+    """
+
+    job: "JobInProgress"
+    kind: TaskKind
+    index: int
+    duration: float
+    payload: Optional[str] = None
+    # Runtime bookkeeping, filled in by the JobTracker at launch/finish.
+    tracker_id: Optional[int] = None
+    launch_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    # The scheduled completion event, kept so a tracker failure can retract
+    # the attempt (see JobTracker.kill_tracker).
+    completion_handle: Optional[object] = None
+    # Backup attempts launched by speculative execution do not advance the
+    # workflow's plan progress (they duplicate an index already counted).
+    speculative: bool = False
+
+    @property
+    def task_id(self) -> str:
+        return f"{self.job.job_id}/{self.kind.value}-{self.index}"
+
+    @property
+    def workflow_name(self) -> Optional[str]:
+        return self.job.workflow_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Task({self.task_id}, dur={self.duration:g})"

@@ -1,0 +1,68 @@
+"""TaskTracker: a worker node with fixed map/reduce slot counts."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.cluster.tasks import Task, TaskKind
+
+__all__ = ["TaskTracker"]
+
+
+class TaskTracker:
+    """Slot bookkeeping for one worker.
+
+    The tracker itself is passive; the JobTracker drives it by launching
+    tasks into free slots on heartbeats.  Occupancy invariants (never more
+    running tasks than slots) are asserted here so scheduler bugs surface
+    as exceptions, not silently-wrong results.
+    """
+
+    def __init__(self, tracker_id: int, map_slots: int, reduce_slots: int) -> None:
+        self.tracker_id = tracker_id
+        self.map_slots = map_slots
+        self.reduce_slots = reduce_slots
+        self.running: Set[Task] = set()
+        self._running_maps = 0
+        self._running_reduces = 0
+        self.alive = True
+
+    @property
+    def free_map_slots(self) -> int:
+        return self.map_slots - self._running_maps
+
+    @property
+    def free_reduce_slots(self) -> int:
+        return self.reduce_slots - self._running_reduces
+
+    def free_slots(self, kind: TaskKind) -> int:
+        return self.free_map_slots if kind.uses_map_slot else self.free_reduce_slots
+
+    def occupy(self, task: Task) -> None:
+        """Place a task into a slot; raises if no slot of its kind is free."""
+        if not self.alive:
+            raise RuntimeError(f"tracker {self.tracker_id} is dead")
+        if task.kind.uses_map_slot:
+            if self._running_maps >= self.map_slots:
+                raise RuntimeError(f"tracker {self.tracker_id}: map slots oversubscribed")
+            self._running_maps += 1
+        else:
+            if self._running_reduces >= self.reduce_slots:
+                raise RuntimeError(f"tracker {self.tracker_id}: reduce slots oversubscribed")
+            self._running_reduces += 1
+        self.running.add(task)
+        task.tracker_id = self.tracker_id
+
+    def release(self, task: Task) -> None:
+        """Free the slot a finished (or killed) task occupied."""
+        self.running.discard(task)
+        if task.kind.uses_map_slot:
+            self._running_maps -= 1
+        else:
+            self._running_reduces -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TaskTracker({self.tracker_id}, maps {self._running_maps}/{self.map_slots}, "
+            f"reduces {self._running_reduces}/{self.reduce_slots})"
+        )

@@ -1,0 +1,33 @@
+"""WOHA's contribution: progress-based deadline-aware workflow scheduling.
+
+* :mod:`repro.core.progress` — the progress-requirement plan ``F_i``;
+* :mod:`repro.core.plangen` — Algorithm 1 (client-side plan generation);
+* :mod:`repro.core.capsearch` — the resource-cap binary search (§IV-A);
+* :mod:`repro.core.priorities` — HLF / LPF / MPF intra-workflow orders;
+* :mod:`repro.core.scheduler` — Algorithm 2 on the Double Skip List;
+* :mod:`repro.core.client` — the WOHA client (validate → plan → submit).
+"""
+
+from repro.core.progress import ProgressEntry, ProgressPlan
+from repro.core.plangen import generate_requirements, simulate_makespan
+from repro.core.capsearch import find_min_cap, CapSearchResult
+from repro.core.priorities import hlf_order, lpf_order, mpf_order, PRIORITIZERS
+from repro.core.scheduler import WohaScheduler, NaiveWohaScheduler
+from repro.core.client import WohaClient, make_planner
+
+__all__ = [
+    "ProgressEntry",
+    "ProgressPlan",
+    "generate_requirements",
+    "simulate_makespan",
+    "find_min_cap",
+    "CapSearchResult",
+    "hlf_order",
+    "lpf_order",
+    "mpf_order",
+    "PRIORITIZERS",
+    "WohaScheduler",
+    "NaiveWohaScheduler",
+    "WohaClient",
+    "make_planner",
+]

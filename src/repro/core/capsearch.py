@@ -1,0 +1,191 @@
+"""Resource-capped plan generation (paper §IV-A, "An improvement").
+
+An uncapped plan assumes the workflow owns the whole cluster, so its
+progress requirements stay at zero until shortly before the deadline and
+then demand a burst of slots — by the time the workflow falls behind, it is
+too late (the paper's Fig 2a).  Capping the simulated slots makes the plan
+demand steady progress.  The paper proposes a binary search for the
+*minimum* cap under which the simulated makespan still meets the deadline:
+the least optimistic plan that is still feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.plangen import (
+    generate_requirements,
+    generate_requirements_split,
+    simulate_makespan,
+)
+from repro.core.progress import ProgressPlan
+from repro.workflow.model import Workflow
+
+__all__ = [
+    "CapSearchResult",
+    "SplitCapSearchResult",
+    "find_min_cap",
+    "find_min_cap_split",
+    "capped_plan",
+    "capped_plan_split",
+]
+
+
+@dataclass(frozen=True)
+class CapSearchResult:
+    """Outcome of the binary search."""
+
+    cap: int
+    feasible: bool
+    makespan: float
+    probes: int  # number of Algorithm 1 simulations performed
+
+
+def find_min_cap(
+    workflow: Workflow,
+    max_slots: int,
+    relative_deadline: Optional[float] = None,
+    job_order: Optional[Sequence[str]] = None,
+) -> CapSearchResult:
+    """Binary-search the minimum cap whose simulated makespan meets the
+    relative deadline.
+
+    Args:
+        workflow: the workflow to plan.
+        max_slots: the system slot count ``n`` reported by the master.
+        relative_deadline: ``D_i - S_i``; defaults to the workflow's own.
+        job_order: intra-workflow priority order fed to Algorithm 1.
+
+    Returns:
+        The minimal feasible cap, or ``cap == max_slots`` with
+        ``feasible=False`` when even the whole cluster cannot meet the
+        deadline in simulation (the plan is then the most optimistic one
+        available, which is all a best-effort scheduler can do).
+
+    The paper relies on makespan being non-increasing in the cap.  Our
+    greedy list simulation can in principle exhibit Graham anomalies; the
+    binary search matches the paper, and the final plan is regenerated at
+    the returned cap, so any anomaly costs only plan quality, never
+    correctness.
+    """
+    if max_slots < 1:
+        raise ValueError("max_slots must be >= 1")
+    if relative_deadline is None:
+        relative_deadline = workflow.relative_deadline
+    probes = 0
+    if relative_deadline is None:
+        # Best-effort workflow: no deadline to honour; plan at full size.
+        makespan = simulate_makespan(workflow, max_slots, job_order)
+        return CapSearchResult(cap=max_slots, feasible=True, makespan=makespan, probes=1)
+
+    makespan_at_max = simulate_makespan(workflow, max_slots, job_order)
+    probes += 1
+    if makespan_at_max > relative_deadline:
+        return CapSearchResult(cap=max_slots, feasible=False, makespan=makespan_at_max, probes=probes)
+
+    lo, hi = 1, max_slots  # invariant: hi is feasible
+    best_makespan = makespan_at_max
+    while lo < hi:
+        mid = (lo + hi) // 2
+        makespan = simulate_makespan(workflow, mid, job_order)
+        probes += 1
+        if makespan <= relative_deadline:
+            hi = mid
+            best_makespan = makespan
+        else:
+            lo = mid + 1
+    return CapSearchResult(cap=hi, feasible=True, makespan=best_makespan, probes=probes)
+
+
+def capped_plan(
+    workflow: Workflow,
+    max_slots: int,
+    job_order: Optional[Sequence[str]] = None,
+    relative_deadline: Optional[float] = None,
+) -> ProgressPlan:
+    """Convenience: cap search + final plan generation at the found cap."""
+    result = find_min_cap(workflow, max_slots, relative_deadline, job_order)
+    return generate_requirements(workflow, result.cap, job_order, feasible=result.feasible)
+
+
+@dataclass(frozen=True)
+class SplitCapSearchResult:
+    """Outcome of the split-pool binary search."""
+
+    map_cap: int
+    reduce_cap: int
+    feasible: bool
+    makespan: float
+    probes: int
+
+
+def _split_caps(k: int, total: int, map_fraction: float) -> "tuple[int, int]":
+    """Scale the cluster's map/reduce pool mix down to ``k`` total slots."""
+    map_cap = max(1, round(k * map_fraction))
+    reduce_cap = max(1, k - map_cap)
+    return map_cap, reduce_cap
+
+
+def find_min_cap_split(
+    workflow: Workflow,
+    max_slots: int,
+    map_fraction: float = 2.0 / 3.0,
+    relative_deadline: Optional[float] = None,
+    job_order: Optional[Sequence[str]] = None,
+) -> SplitCapSearchResult:
+    """Split-pool variant of :func:`find_min_cap` (our ablation, DESIGN.md §6).
+
+    The paper's Algorithm 1 pools map and reduce slots into a single cap,
+    which lets a plan assume more reduce parallelism than the reduce pool
+    can deliver; in tight regimes the workflow then slips behind a plan it
+    is nominally following.  This search scales a (map, reduce) cap pair in
+    the cluster's own pool ratio (``map_fraction``) and finds the smallest
+    total that still meets the deadline under the split model.
+    """
+    if max_slots < 2:
+        raise ValueError("split cap search needs at least 2 slots")
+    if not (0.0 < map_fraction < 1.0):
+        raise ValueError("map_fraction must be in (0, 1)")
+    if relative_deadline is None:
+        relative_deadline = workflow.relative_deadline
+
+    def makespan_at(k: int) -> float:
+        mc, rc = _split_caps(k, max_slots, map_fraction)
+        return generate_requirements_split(workflow, mc, rc, job_order).makespan
+
+    probes = 1
+    top = makespan_at(max_slots)
+    if relative_deadline is None:
+        mc, rc = _split_caps(max_slots, max_slots, map_fraction)
+        return SplitCapSearchResult(mc, rc, True, top, probes)
+    if top > relative_deadline:
+        mc, rc = _split_caps(max_slots, max_slots, map_fraction)
+        return SplitCapSearchResult(mc, rc, False, top, probes)
+    lo, hi = 2, max_slots
+    best = top
+    while lo < hi:
+        mid = (lo + hi) // 2
+        makespan = makespan_at(mid)
+        probes += 1
+        if makespan <= relative_deadline:
+            hi = mid
+            best = makespan
+        else:
+            lo = mid + 1
+    mc, rc = _split_caps(hi, max_slots, map_fraction)
+    return SplitCapSearchResult(mc, rc, True, best, probes)
+
+
+def capped_plan_split(
+    workflow: Workflow,
+    max_slots: int,
+    map_fraction: float = 2.0 / 3.0,
+    job_order: Optional[Sequence[str]] = None,
+    relative_deadline: Optional[float] = None,
+) -> ProgressPlan:
+    """Split-pool cap search + plan generation at the found caps."""
+    result = find_min_cap_split(workflow, max_slots, map_fraction, relative_deadline, job_order)
+    return generate_requirements_split(
+        workflow, result.map_cap, result.reduce_cap, job_order, feasible=result.feasible
+    )

@@ -1,0 +1,177 @@
+"""The WOHA client (paper §III-B, steps a-h).
+
+``hadoop dag /path/to/W_i.xml`` runs, on the client machine:
+
+1. the **Configuration Validator** — parse the XML, check jar files and
+   input datasets against HDFS, infer the prerequisite sets ``P_i``;
+2. the **Scheduling Plan Generator** — query the master for the system slot
+   count, binary-search the resource cap, run Algorithm 1;
+3. the **Coordinator / Submitter Job Generator** — ship configuration +
+   plan to the JobTracker, which creates the map-only submitter job.
+
+All of the expensive analysis happens here, off the master — that is the
+framework's central design decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.jobtracker import JobTracker, WorkflowInProgress
+from repro.core.capsearch import find_min_cap
+from repro.core.plangen import generate_requirements
+from repro.core.priorities import PRIORITIZERS, Prioritizer
+from repro.core.progress import ProgressPlan
+from repro.hdfs import HdfsNamespace
+from repro.workflow.model import Workflow, WorkflowValidationError
+from repro.workflow.xmlconfig import parse_workflow_xml
+
+__all__ = ["ValidationReport", "WohaClient", "make_planner"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of the Configuration Validator."""
+
+    missing_inputs: Tuple[str, ...]
+    missing_jars: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing_inputs and not self.missing_jars
+
+
+def _resolve_prioritizer(prioritizer: Union[str, Prioritizer]) -> Prioritizer:
+    if callable(prioritizer):
+        return prioritizer
+    try:
+        return PRIORITIZERS[prioritizer]
+    except KeyError:
+        raise ValueError(
+            f"unknown prioritizer {prioritizer!r}; pick from {sorted(PRIORITIZERS)}"
+        ) from None
+
+
+class WohaClient:
+    """A client node submitting workflows to a JobTracker.
+
+    Args:
+        jobtracker: the master to submit to.
+        hdfs: the namespace used for configuration validation; ``None``
+            skips dataset/jar existence checks (pure-simulation runs).
+        prioritizer: intra-workflow job priority policy — ``"hlf"``,
+            ``"lpf"``, ``"mpf"`` or a callable.
+        cap_search: when False, plans are generated at the full system slot
+            count (the paper's pre-improvement behaviour, kept for the
+            Fig 2 ablation).
+    """
+
+    def __init__(
+        self,
+        jobtracker: JobTracker,
+        hdfs: Optional[HdfsNamespace] = None,
+        prioritizer: Union[str, Prioritizer] = "lpf",
+        cap_search: bool = True,
+    ) -> None:
+        self.jobtracker = jobtracker
+        self.hdfs = hdfs
+        self.prioritizer = _resolve_prioritizer(prioritizer)
+        self.cap_search = cap_search
+
+    # -- Configuration Validator -------------------------------------------------
+
+    def validate(self, workflow: Workflow) -> ValidationReport:
+        """Check jar files and input datasets exist (step b).
+
+        Inputs produced by another wjob of the same workflow are exempt:
+        they will exist by the time the consumer runs.
+        """
+        if self.hdfs is None:
+            return ValidationReport(missing_inputs=(), missing_jars=())
+        produced = {path for job in workflow.jobs for path in job.outputs}
+        missing_inputs = tuple(
+            path
+            for job in workflow.jobs
+            for path in job.inputs
+            if path not in produced and not self.hdfs.exists(path)
+        )
+        missing_jars = tuple(
+            job.jar_path
+            for job in workflow.jobs
+            if job.jar_path is not None and not self.hdfs.exists(job.jar_path)
+        )
+        return ValidationReport(missing_inputs=missing_inputs, missing_jars=missing_jars)
+
+    # -- Scheduling Plan Generator -------------------------------------------------
+
+    def generate_plan(self, workflow: Workflow, total_slots: Optional[int] = None) -> ProgressPlan:
+        """Cap search + Algorithm 1 (steps c-d), entirely client-side."""
+        if total_slots is None:
+            total_slots = self.jobtracker.total_slots  # the one master query
+        job_order = self.prioritizer(workflow)
+        if self.cap_search:
+            result = find_min_cap(workflow, total_slots, job_order=job_order)
+            cap, feasible = result.cap, result.feasible
+        else:
+            cap, feasible = total_slots, True
+        return generate_requirements(workflow, cap, job_order, feasible=feasible)
+
+    # -- submission -------------------------------------------------------------------
+
+    def submit(self, workflow: Workflow) -> WorkflowInProgress:
+        """Validate, plan and submit (steps b-h)."""
+        report = self.validate(workflow)
+        if not report.ok:
+            raise WorkflowValidationError(
+                f"workflow {workflow.name!r}: missing inputs {list(report.missing_inputs)}, "
+                f"missing jars {list(report.missing_jars)}"
+            )
+        plan = self.generate_plan(workflow)
+        return self.jobtracker.submit_workflow(workflow, plan=plan, use_submitter=True)
+
+    def submit_xml(self, xml_text: str) -> WorkflowInProgress:
+        """The ``hadoop dag W_i.xml`` entry point (step a)."""
+        return self.submit(parse_workflow_xml(xml_text))
+
+
+def make_planner(
+    prioritizer: Union[str, Prioritizer] = "lpf",
+    cap_search: bool = True,
+    pool: str = "pooled",
+    map_fraction: float = 2.0 / 3.0,
+) -> Callable[[Workflow, int], ProgressPlan]:
+    """A standalone planner for :class:`~repro.cluster.simulation.ClusterSimulation`.
+
+    Returns a ``(workflow, total_slots) -> ProgressPlan`` callable that does
+    exactly what :meth:`WohaClient.generate_plan` does.
+
+    Args:
+        pool: ``"pooled"`` runs the paper's Algorithm 1 (one slot pool);
+            ``"split"`` runs the split-pool ablation, modelling map and
+            reduce slots separately in the cluster's ``map_fraction`` mix.
+    """
+    chosen = _resolve_prioritizer(prioritizer)
+    if pool not in ("pooled", "split"):
+        raise ValueError(f"unknown pool mode {pool!r}; pick 'pooled' or 'split'")
+
+    def planner(workflow: Workflow, total_slots: int) -> ProgressPlan:
+        job_order = chosen(workflow)
+        if pool == "split":
+            from repro.core.capsearch import capped_plan_split, find_min_cap_split
+            from repro.core.plangen import generate_requirements_split
+
+            if cap_search:
+                return capped_plan_split(workflow, total_slots, map_fraction, job_order)
+            map_cap = max(1, round(total_slots * map_fraction))
+            return generate_requirements_split(
+                workflow, map_cap, max(1, total_slots - map_cap), job_order
+            )
+        if cap_search:
+            result = find_min_cap(workflow, total_slots, job_order=job_order)
+            cap, feasible = result.cap, result.feasible
+        else:
+            cap, feasible = total_slots, True
+        return generate_requirements(workflow, cap, job_order, feasible=feasible)
+
+    return planner

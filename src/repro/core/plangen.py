@@ -1,0 +1,268 @@
+"""Algorithm 1: client-side generation of progress requirements.
+
+``generate_requirements`` simulates the workflow's execution on ``cap``
+pooled slots, honouring the given intra-workflow job priority order, and
+records how many tasks a deadline-meeting execution has scheduled at every
+instant.  The recorded batches, re-expressed in time-to-deadline, are the
+progress requirement list ``F_i``.
+
+Faithfulness notes (two places where the printed pseudo-code is abbreviated
+and we implement the evident intent):
+
+* The paper's listing never emits FREE events for completed task batches —
+  taken literally, slots would leak and any job with more tasks than slots
+  would deadlock.  We emit ``FREE(t + duration, batch)`` per batch, which is
+  the only reading under which the algorithm's own Fig 2 example works out.
+* The listing assigns slots to a single job per event.  We keep assigning
+  while slots and active jobs remain at the same instant (work-conserving),
+  matching both the Workflow Scheduler's runtime behaviour and Fig 2.
+
+As in the paper, map and reduce slots are pooled into the single cap ``n``;
+``generate_requirements_split`` is our split-pool ablation (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.progress import ProgressEntry, ProgressPlan
+from repro.workflow.model import Workflow
+
+__all__ = ["generate_requirements", "generate_requirements_split", "simulate_makespan"]
+
+_FREE = 0
+_ADD = 1
+
+
+class _SimJob:
+    """Mutable per-job counters for the plan simulation."""
+
+    __slots__ = ("name", "maps_left", "reduces_left", "map_dur", "reduce_dur", "rank", "pending")
+
+    def __init__(self, name: str, maps: int, reduces: int, map_dur: float, reduce_dur: float, rank: int, pending: int):
+        self.name = name
+        self.maps_left = maps
+        self.reduces_left = reduces
+        self.map_dur = map_dur
+        self.reduce_dur = reduce_dur
+        self.rank = rank
+        self.pending = pending  # unfinished prerequisites
+
+
+def _simulate(
+    workflow: Workflow,
+    cap: int,
+    job_order: Sequence[str],
+    pooled: bool,
+    reduce_cap: int = 0,
+) -> Tuple[List[Tuple[float, int]], float]:
+    """Run the Algorithm 1 simulation.
+
+    Returns ``(batches, makespan)`` where each batch is ``(time, count)``.
+    With ``pooled`` False, ``cap`` bounds map slots and ``reduce_cap``
+    reduce slots (the split-pool ablation).
+    """
+    if cap < 1:
+        raise ValueError("resource cap must be >= 1")
+    rank = {name: i for i, name in enumerate(job_order)}
+    missing = set(workflow.job_names()) - set(rank)
+    if missing:
+        raise ValueError(f"job_order missing jobs: {sorted(missing)}")
+
+    jobs: Dict[str, _SimJob] = {}
+    for wjob in workflow.jobs:
+        jobs[wjob.name] = _SimJob(
+            wjob.name,
+            wjob.num_maps,
+            wjob.num_reduces,
+            wjob.map_duration,
+            wjob.reduce_duration,
+            rank[wjob.name],
+            len(wjob.prerequisites),
+        )
+
+    # Active queue: jobs with an open phase.  Sorted scan per pick is fine —
+    # |A| <= jobs in the workflow and the client runs this off-master.
+    active: List[_SimJob] = [jobs[name] for name in workflow.roots()]
+    events: List[Tuple[float, int, int, object]] = []  # (time, seq, type, value)
+    seq = itertools.count()
+    free_maps = cap
+    free_reduces = reduce_cap  # unused when pooled
+
+    def push(time: float, etype: int, value) -> None:
+        heapq.heappush(events, (time, next(seq), etype, value))
+
+    batches: List[Tuple[float, int]] = []
+    makespan = 0.0
+
+    def assign(t: float) -> None:
+        """Work-conserving assignment at instant ``t``."""
+        nonlocal free_maps, free_reduces
+        while active:
+            candidates = [
+                job
+                for job in active
+                if (job.maps_left > 0 and free_maps > 0)
+                or (
+                    job.maps_left == 0
+                    and job.reduces_left > 0
+                    and ((free_maps if pooled else free_reduces) > 0)
+                )
+            ]
+            if not candidates:
+                break
+            job = min(candidates, key=lambda j: j.rank)
+            if job.maps_left > 0:
+                batch = min(job.maps_left, free_maps)
+                free_maps -= batch
+                job.maps_left -= batch
+                batches.append((t, batch))
+                push(t + job.map_dur, _FREE, ("m", batch))
+                if job.maps_left == 0:
+                    active.remove(job)
+                    # The job reappears (for its reduce phase) or completes
+                    # when its last map batch finishes.
+                    push(t + job.map_dur, _ADD, job.name)
+            else:
+                avail = free_maps if pooled else free_reduces
+                batch = min(job.reduces_left, avail)
+                if pooled:
+                    free_maps -= batch
+                else:
+                    free_reduces -= batch
+                job.reduces_left -= batch
+                batches.append((t, batch))
+                push(t + job.reduce_dur, _FREE, ("r", batch))
+                if job.reduces_left == 0:
+                    active.remove(job)
+                    push(t + job.reduce_dur, _ADD, job.name)
+
+    assign(0.0)
+    while events:
+        t = events[0][0]
+        # Drain every event at this instant before assigning.
+        while events and events[0][0] == t:
+            _t, _s, etype, value = heapq.heappop(events)
+            if etype == _FREE:
+                kind, count = value
+                if pooled or kind == "m":
+                    free_maps += count
+                else:
+                    free_reduces += count
+            else:  # _ADD: a job finished a phase or got unlocked
+                job = jobs[value]
+                if job.maps_left == 0 and job.reduces_left == 0:
+                    # Last phase finished: record completion, unlock deps.
+                    makespan = max(makespan, t)
+                    for dep in workflow.dependents(value):
+                        dep_job = jobs[dep]
+                        dep_job.pending -= 1
+                        if dep_job.pending == 0:
+                            active.append(dep_job)
+                else:
+                    # Map phase done; reduce phase opens.
+                    active.append(job)
+        assign(t)
+    if active:
+        raise RuntimeError(
+            "plan simulation stalled with active jobs and no events — "
+            "this indicates a slot-accounting bug"
+        )
+
+    unfinished = [j.name for j in jobs.values() if j.maps_left or j.reduces_left]
+    if unfinished:
+        raise RuntimeError(f"plan simulation left jobs unscheduled: {unfinished}")
+    return batches, makespan
+
+
+def _batches_to_plan(
+    batches: List[Tuple[float, int]],
+    makespan: float,
+    job_order: Sequence[str],
+    cap: int,
+    total_tasks: int,
+    feasible: bool,
+) -> ProgressPlan:
+    """Merge same-instant batches, accumulate, convert times to ttd."""
+    merged: List[Tuple[float, int]] = []
+    for time, count in batches:
+        if count <= 0:
+            continue
+        if merged and merged[-1][0] == time:
+            merged[-1] = (time, merged[-1][1] + count)
+        else:
+            merged.append((time, count))
+    entries: List[ProgressEntry] = []
+    cumulative = 0
+    for time, count in merged:
+        cumulative += count
+        ttd = makespan - time
+        if entries and entries[-1].ttd <= ttd:
+            # Distinct batch times can collapse to one ttd in floating
+            # point; keep a single entry with the stronger requirement.
+            entries[-1] = ProgressEntry(ttd=entries[-1].ttd, cum_req=cumulative)
+        else:
+            entries.append(ProgressEntry(ttd=ttd, cum_req=cumulative))
+    return ProgressPlan(
+        entries=tuple(entries),
+        job_order=tuple(job_order),
+        resource_cap=cap,
+        makespan=makespan,
+        total_tasks=total_tasks,
+        feasible=feasible,
+    )
+
+
+def generate_requirements(
+    workflow: Workflow,
+    cap: int,
+    job_order: Optional[Sequence[str]] = None,
+    feasible: bool = True,
+) -> ProgressPlan:
+    """Algorithm 1: simulate ``workflow`` on ``cap`` pooled slots.
+
+    Args:
+        workflow: the workflow configuration ``W_i``.
+        cap: the resource consumption cap ``n``.
+        job_order: intra-workflow priority order (best first); defaults to
+            the workflow's topological order.
+        feasible: recorded on the plan (set by the cap search).
+
+    Returns:
+        The progress requirement plan ``F_i``.
+    """
+    order = tuple(job_order) if job_order is not None else workflow.topological_order()
+    batches, makespan = _simulate(workflow, cap, order, pooled=True)
+    return _batches_to_plan(batches, makespan, order, cap, workflow.total_tasks, feasible)
+
+
+def generate_requirements_split(
+    workflow: Workflow,
+    map_cap: int,
+    reduce_cap: int,
+    job_order: Optional[Sequence[str]] = None,
+    feasible: bool = True,
+) -> ProgressPlan:
+    """Split-pool ablation: separate map and reduce slot caps.
+
+    The paper pools both slot kinds into one ``n``; this variant models
+    them separately, which matches the real cluster more closely.  Compared
+    in ``benchmarks/bench_ablation_split_pool.py``.
+    """
+    if reduce_cap < 1:
+        raise ValueError("reduce cap must be >= 1")
+    order = tuple(job_order) if job_order is not None else workflow.topological_order()
+    batches, makespan = _simulate(workflow, map_cap, order, pooled=False, reduce_cap=reduce_cap)
+    return _batches_to_plan(
+        batches, makespan, order, map_cap + reduce_cap, workflow.total_tasks, feasible
+    )
+
+
+def simulate_makespan(workflow: Workflow, cap: int, job_order: Optional[Sequence[str]] = None) -> float:
+    """Makespan of the Algorithm 1 simulation at ``cap`` slots (cap search
+    subroutine)."""
+    order = tuple(job_order) if job_order is not None else workflow.topological_order()
+    _batches, makespan = _simulate(workflow, cap, order, pooled=True)
+    return makespan

@@ -1,0 +1,255 @@
+"""The WOHA Workflow Scheduler: Algorithm 2 on the Double Skip List.
+
+Runtime behaviour (paper §IV-B):
+
+1. On every slot free-up the scheduler first walks the head of the **ct
+   list**: workflows whose next progress-requirement change time has passed
+   get their index ``W_h.i`` advanced, their next change time recomputed,
+   and their priority updated to the current lag
+   ``F_h[W_h.i - 1].req - rho_h`` — both list positions move.
+2. It then serves the head of the **priority list**: the workflow with the
+   largest lag that has a runnable task of the requested kind.  Within the
+   workflow, the plan's job order picks the job (submitter tasks go first —
+   they unlock everything else and cost one short map slot).
+3. After an assignment, ``rho_h`` grows by one so the workflow's priority
+   drops by one and it is repositioned — a head deletion plus an ordered
+   insertion.
+
+Workflows without a plan or deadline sort behind every planned workflow
+(they have no progress requirement to fall behind of) and are served FIFO
+among themselves.
+
+:class:`NaiveWohaScheduler` is the paper's strawman for Fig 13a: same
+decisions, but every call recomputes every workflow's lag and re-sorts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.cluster.job import JobInProgress, SubmitterJob
+from repro.cluster.tasks import Task, TaskKind
+from repro.core.progress import ProgressPlan
+from repro.schedulers.base import WorkflowScheduler
+from repro.structures.avl import AvlTree
+from repro.structures.base import OrderedMap
+from repro.structures.dsl import DoubleSkipList
+from repro.structures.naive import SortedListMap
+from repro.structures.skiplist import DeterministicSkipList
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.jobtracker import WorkflowInProgress
+
+__all__ = ["WohaScheduler", "NaiveWohaScheduler", "QUEUE_BACKENDS"]
+
+QUEUE_BACKENDS: Dict[str, Callable[[], OrderedMap]] = {
+    "dsl": DeterministicSkipList,
+    "bst": AvlTree,
+    "list": SortedListMap,
+}
+
+
+class _WorkflowRecord:
+    """Scheduler-private state for one workflow (the ``W_h`` fields of
+    Algorithm 2)."""
+
+    __slots__ = ("wip", "plan", "rank", "index", "rho_base")
+
+    def __init__(self, wip: "WorkflowInProgress", plan: Optional[ProgressPlan]):
+        self.wip = wip
+        self.plan = plan
+        self.rank: Dict[str, int] = (
+            {name: i for i, name in enumerate(plan.job_order)} if plan is not None else {}
+        )
+        self.index = 0  # W_h.i: next progress-requirement change entry
+        # Progress already accounted when the current plan was installed.
+        # 0 for submission-time plans; replanning (see
+        # repro.core.replanning) rebases so the fresh plan's requirements
+        # compare against progress made after the replan.
+        self.rho_base = 0
+
+    @property
+    def has_plan(self) -> bool:
+        return self.plan is not None and self.wip.deadline is not None and len(self.plan) > 0
+
+    @property
+    def rho(self) -> int:
+        """Progress against the *current* plan."""
+        return self.wip.scheduled_tasks - self.rho_base
+
+    def next_change_time(self) -> float:
+        if not self.has_plan:
+            return float("inf")
+        return self.plan.change_time(self.wip.deadline, self.index)
+
+    def current_priority(self) -> float:
+        """The lag ``F_h[W_h.i - 1].req - rho_h``.
+
+        Unplanned workflows get -inf-like priority so planned workflows
+        always outrank them; their FIFO tie-break is the item id.
+        """
+        if not self.has_plan:
+            return float("-inf")
+        return self.plan.requirement_before(self.index) - self.rho
+
+    def install_plan(self, plan: ProgressPlan, now: float) -> None:
+        """Swap in a fresh plan, rebasing progress accounting."""
+        self.plan = plan
+        self.rank = {name: i for i, name in enumerate(plan.job_order)}
+        self.rho_base = self.wip.scheduled_tasks
+        self.index = (
+            plan.first_index_after(self.wip.deadline, now) if self.has_plan else 0
+        )
+
+
+def _pick_task_in_workflow(record: _WorkflowRecord, kind: TaskKind) -> Optional[Task]:
+    """Pick the highest-priority runnable job inside the workflow.
+
+    Submitter tasks go first on map slots; then the plan's job order (jobs
+    absent from the plan sort last, FIFO)."""
+    wip = record.wip
+    if kind.uses_map_slot and wip.submitter is not None and wip.submitter.runnable_maps > 0:
+        return wip.submitter.obtain_map()
+    best: Optional[JobInProgress] = None
+    best_rank = None
+    for name, jip in wip.jobs.items():
+        if jip.completed or not jip.has_runnable(kind):
+            continue
+        rank = record.rank.get(name, len(record.rank))
+        if best_rank is None or rank < best_rank:
+            best, best_rank = jip, rank
+    if best is None:
+        return None
+    return best.obtain(kind)
+
+
+class WohaScheduler(WorkflowScheduler):
+    """Progress-based workflow scheduling over a pluggable ordered queue.
+
+    Args:
+        queue_backend: ``"dsl"`` (deterministic skip lists — the paper's
+            choice), ``"bst"`` (AVL trees) or ``"list"`` (sorted lists).
+            All give identical scheduling decisions; they differ only in
+            the cost profile measured by the Fig 13a bench.
+    """
+
+    name = "WOHA"
+
+    def __init__(self, queue_backend: str = "dsl") -> None:
+        super().__init__()
+        try:
+            factory = QUEUE_BACKENDS[queue_backend]
+        except KeyError:
+            raise ValueError(
+                f"unknown queue backend {queue_backend!r}; pick from {sorted(QUEUE_BACKENDS)}"
+            ) from None
+        self.queue_backend = queue_backend
+        self._queue = DoubleSkipList(map_factory=factory)
+        self._records: Dict[str, _WorkflowRecord] = {}
+        self.assign_calls = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_workflow_submitted(self, wip: "WorkflowInProgress", now: float) -> None:
+        record = _WorkflowRecord(wip, wip.plan if isinstance(wip.plan, ProgressPlan) else None)
+        if record.has_plan:
+            # Skip entries that already fired (a workflow submitted after
+            # deadline - makespan starts behind its plan).
+            record.index = record.plan.first_index_after(wip.deadline, now)
+        self._records[wip.name] = record
+        self._queue.insert(
+            item_id=wip.name,
+            ct=record.next_change_time(),
+            priority=record.current_priority(),
+            payload=record,
+        )
+
+    def on_workflow_completed(self, wip: "WorkflowInProgress", now: float) -> None:
+        if wip.name in self._queue:
+            self._queue.remove(wip.name)
+        self._records.pop(wip.name, None)
+
+    # -- Algorithm 2 -----------------------------------------------------------
+
+    def _advance_ct_heads(self, now: float) -> None:
+        """Lines 4-19: update every workflow whose requirement changed."""
+        while True:
+            head = self._queue.head_by_ct()
+            if head is None or head.ct > now:
+                break
+            record: _WorkflowRecord = head.payload
+            record.index = record.plan.first_index_after(record.wip.deadline, now)
+            self._queue.update_head_ct(record.next_change_time(), record.current_priority())
+
+    def select_task(self, kind: TaskKind, now: float) -> Optional[Task]:
+        self.assign_calls += 1
+        self._advance_ct_heads(now)
+        # Serve the largest lag first; skip workflows with nothing runnable
+        # of this kind (work conservation).
+        for entry in self._queue.iter_by_priority():
+            task = _pick_task_in_workflow(entry.payload, kind)
+            if task is not None:
+                return task
+        return None
+
+    def on_task_assigned(self, task: Task, now: float) -> None:
+        """Lines 20-23: the served workflow's rho grew, so its lag shrank."""
+        if task.kind is TaskKind.SUBMIT:
+            return  # submitter tasks are not part of the plan's population
+        wf_name = task.workflow_name
+        if wf_name is None or wf_name not in self._queue:
+            return
+        record = self._records[wf_name]
+        self._queue.update_priority(wf_name, record.current_priority())
+
+    # -- introspection for tests/benches ---------------------------------------
+
+    def queue_length(self) -> int:
+        """Workflows currently queued (both DSL lists hold this many)."""
+        return len(self._queue)
+
+    def check_invariants(self) -> None:
+        """Assert the queue's structural invariants (test hook)."""
+        self._queue.check_invariants()
+
+
+class NaiveWohaScheduler(WorkflowScheduler):
+    """The strawman of Fig 13a: recompute every lag and re-sort per call.
+
+    Produces the same assignments as :class:`WohaScheduler` (ties included)
+    but costs O(n_w log n_w) on *every* AssignTask call instead of only on
+    requirement changes.
+    """
+
+    name = "WOHA-naive"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._records: Dict[str, _WorkflowRecord] = {}
+        self.assign_calls = 0
+
+    def on_workflow_submitted(self, wip: "WorkflowInProgress", now: float) -> None:
+        self._records[wip.name] = _WorkflowRecord(
+            wip, wip.plan if isinstance(wip.plan, ProgressPlan) else None
+        )
+
+    def on_workflow_completed(self, wip: "WorkflowInProgress", now: float) -> None:
+        self._records.pop(wip.name, None)
+
+    def _lag(self, record: _WorkflowRecord, now: float) -> float:
+        if not record.has_plan:
+            return float("-inf")
+        ttd = record.wip.deadline - now
+        return record.plan.requirement_at(ttd) - record.rho
+
+    def select_task(self, kind: TaskKind, now: float) -> Optional[Task]:
+        self.assign_calls += 1
+        ordered = sorted(
+            self._records.values(),
+            key=lambda r: (-self._lag(r, now), r.wip.name),
+        )
+        for record in ordered:
+            task = _pick_task_in_workflow(record, kind)
+            if task is not None:
+                return task
+        return None

@@ -1,0 +1,118 @@
+"""Task execution-time estimation (paper §IV-A).
+
+"Estimations of task execution times can be acquired from logs of
+historical executions [17] or by using models based on task properties
+[9]."  The paper treats estimation as an input; WOHA consumes whatever the
+estimator produces.  This module provides the two families the citation
+points at, so examples and the estimation-error ablation have something
+real to drive:
+
+* :class:`HistoryEstimator` — per-(job-name, phase) trailing statistics
+  from completed runs, with exponential decay across runs;
+* :class:`SizeModelEstimator` — a least-squares linear model
+  ``duration ~ a * input_size + b`` fitted per phase (the
+  "models based on task properties" approach).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TaskObservation", "HistoryEstimator", "SizeModelEstimator"]
+
+
+@dataclass(frozen=True)
+class TaskObservation:
+    """One historical task execution."""
+
+    job_name: str
+    phase: str  # "map" or "reduce"
+    duration: float
+    input_bytes: int = 0
+
+
+class HistoryEstimator:
+    """Exponentially-decayed mean of past durations per (job, phase).
+
+    Args:
+        decay: weight multiplier per *older* observation batch; 1.0 is a
+            plain mean, smaller values favour recent runs.
+        default: estimate returned for never-seen (job, phase) pairs.
+    """
+
+    def __init__(self, decay: float = 0.7, default: float = 60.0) -> None:
+        if not (0.0 < decay <= 1.0):
+            raise ValueError("decay must be in (0, 1]")
+        self.decay = decay
+        self.default = default
+        self._state: Dict[Tuple[str, str], Tuple[float, float]] = {}  # (weighted sum, weight)
+
+    def observe(self, observation: TaskObservation) -> None:
+        key = (observation.job_name, observation.phase)
+        wsum, weight = self._state.get(key, (0.0, 0.0))
+        self._state[key] = (wsum * self.decay + observation.duration, weight * self.decay + 1.0)
+
+    def observe_all(self, observations: Sequence[TaskObservation]) -> None:
+        for obs in observations:
+            self.observe(obs)
+
+    def estimate(self, job_name: str, phase: str) -> float:
+        """Estimated seconds for the next task of this (job, phase)."""
+        state = self._state.get((job_name, phase))
+        if state is None or state[1] == 0.0:
+            return self.default
+        return state[0] / state[1]
+
+    def known(self, job_name: str, phase: str) -> bool:
+        return (job_name, phase) in self._state
+
+
+class SizeModelEstimator:
+    """Linear duration model per phase: ``duration ~ a * input_bytes + b``.
+
+    Fit with ordinary least squares over all observations of a phase; jobs
+    are not distinguished, which is the right bias when job names recur
+    rarely but input sizes explain runtime (the [9] modelling approach).
+    """
+
+    def __init__(self, default: float = 60.0) -> None:
+        self.default = default
+        self._observations: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+        self._models: Dict[str, Tuple[float, float]] = {}
+
+    def observe(self, observation: TaskObservation) -> None:
+        self._observations[observation.phase].append(
+            (float(observation.input_bytes), observation.duration)
+        )
+        self._models.pop(observation.phase, None)  # refit lazily
+
+    def observe_all(self, observations: Sequence[TaskObservation]) -> None:
+        for obs in observations:
+            self.observe(obs)
+
+    def _fit(self, phase: str) -> Optional[Tuple[float, float]]:
+        data = self._observations.get(phase, [])
+        if len(data) < 2:
+            return None
+        xs = np.array([d[0] for d in data])
+        ys = np.array([d[1] for d in data])
+        if np.allclose(xs, xs[0]):
+            return (0.0, float(ys.mean()))
+        design = np.vstack([xs, np.ones_like(xs)]).T
+        (a, b), *_ = np.linalg.lstsq(design, ys, rcond=None)
+        return (float(a), float(b))
+
+    def estimate(self, phase: str, input_bytes: int) -> float:
+        """Estimated seconds for a task of ``phase`` over ``input_bytes``."""
+        model = self._models.get(phase)
+        if model is None:
+            model = self._fit(phase)
+            if model is None:
+                return self.default
+            self._models[phase] = model
+        a, b = model
+        return max(1.0, a * float(input_bytes) + b)

@@ -1,0 +1,111 @@
+"""HDFS-lite: a minimal namespace model.
+
+WOHA's Configuration Validator (paper §III-B step b) checks that the jar
+files and input datasets a workflow names actually exist, copying them into
+HDFS if necessary, and infers job dependencies from dataset paths.  The
+simulator only needs the namespace-level behaviour: which paths exist, which
+job produced them, and when.  No block placement or replication is modelled
+— data locality is outside the paper's evaluation (its scheduling decisions
+are slot-level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["HdfsNamespace", "HdfsError", "FileMeta"]
+
+
+class HdfsError(KeyError):
+    """Raised for namespace violations (missing path, double-create)."""
+
+
+def _normalize(path: str) -> str:
+    if not path.startswith("/"):
+        raise HdfsError(f"HDFS paths are absolute; got {path!r}")
+    parts = [p for p in path.split("/") if p]
+    return "/" + "/".join(parts)
+
+
+@dataclass(frozen=True)
+class FileMeta:
+    """Metadata for one namespace entry."""
+
+    path: str
+    created_at: float
+    producer: Optional[str]  # "workflow/job" that wrote it, None for pre-loaded data
+    size_bytes: int = 0
+
+
+class HdfsNamespace:
+    """A flat(ish) path -> :class:`FileMeta` map with prefix semantics.
+
+    ``exists(p)`` is true if ``p`` itself or any file under the directory
+    ``p`` exists, mirroring how Map-Reduce jobs treat an input *directory*.
+    """
+
+    def __init__(self) -> None:
+        self._files: Dict[str, FileMeta] = {}
+
+    def preload(self, paths: Iterable[str], size_bytes: int = 0) -> None:
+        """Register pre-existing datasets (cluster inputs, jar files)."""
+        for path in paths:
+            self.create(path, created_at=0.0, producer=None, size_bytes=size_bytes)
+
+    def create(
+        self,
+        path: str,
+        created_at: float,
+        producer: Optional[str] = None,
+        size_bytes: int = 0,
+    ) -> FileMeta:
+        """Create a path; refuses to overwrite (Hadoop output semantics)."""
+        path = _normalize(path)
+        if path in self._files:
+            raise HdfsError(f"output path already exists: {path!r}")
+        meta = FileMeta(path=path, created_at=created_at, producer=producer, size_bytes=size_bytes)
+        self._files[path] = meta
+        return meta
+
+    def delete(self, path: str) -> None:
+        """Remove a path and everything under it."""
+        path = _normalize(path)
+        doomed = [p for p in self._files if p == path or p.startswith(path + "/")]
+        if not doomed:
+            raise HdfsError(f"no such path: {path!r}")
+        for p in doomed:
+            del self._files[p]
+
+    def exists(self, path: str) -> bool:
+        """True if the path, or anything under it, exists."""
+        path = _normalize(path)
+        if path in self._files:
+            return True
+        prefix = path + "/"
+        return any(p.startswith(prefix) for p in self._files)
+
+    def stat(self, path: str) -> FileMeta:
+        path = _normalize(path)
+        try:
+            return self._files[path]
+        except KeyError:
+            raise HdfsError(f"no such path: {path!r}") from None
+
+    def listing(self, prefix: str = "/") -> List[FileMeta]:
+        """All entries at or under ``prefix``, sorted by path."""
+        prefix = _normalize(prefix)
+        if prefix == "/":
+            keys = sorted(self._files)
+        else:
+            keys = sorted(
+                p for p in self._files if p == prefix or p.startswith(prefix + "/")
+            )
+        return [self._files[p] for p in keys]
+
+    def missing(self, paths: Iterable[str]) -> Tuple[str, ...]:
+        """Subset of ``paths`` that do not exist — validator helper."""
+        return tuple(p for p in paths if not self.exists(p))
+
+    def __len__(self) -> int:
+        return len(self._files)

@@ -1,0 +1,21 @@
+"""Measurement: event collection and evaluation-metric reports."""
+
+from repro.metrics.collector import MetricsCollector, SlotSample
+from repro.metrics.postmortem import JobSpan, PostMortem
+from repro.metrics.report import (
+    deadline_miss_ratio,
+    max_tardiness,
+    total_tardiness,
+    format_table,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "SlotSample",
+    "JobSpan",
+    "PostMortem",
+    "deadline_miss_ratio",
+    "max_tardiness",
+    "total_tardiness",
+    "format_table",
+]

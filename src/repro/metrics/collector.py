@@ -1,0 +1,183 @@
+"""Event-stream metrics collection.
+
+A :class:`MetricsCollector` is a JobTracker listener that records every task
+launch/completion.  From the raw event log it derives:
+
+* per-workflow, per-slot-kind **allocation time series** — the data behind
+  the paper's Figs 14-19 (map/reduce slots in use by each workflow over
+  time);
+* **cluster utilization** (busy slot-seconds over capacity), Fig 12;
+* busy-time and task-count counters used in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.tasks import Task, TaskKind
+
+__all__ = ["SlotSample", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class SlotSample:
+    """One step of an allocation series: ``count`` slots in use from ``time``."""
+
+    time: float
+    count: int
+
+
+class MetricsCollector:
+    """Records task events and derives evaluation metrics."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        # (time, workflow_name, uses_map_slot, delta)
+        self._deltas: List[Tuple[float, Optional[str], bool, int]] = []
+        # (time, workflow_name) for every non-submitter launch: the true
+        # progress rho_i as a function of time.
+        self._progress_events: List[Tuple[float, Optional[str]]] = []
+        self.busy_map_seconds = 0.0
+        self.busy_reduce_seconds = 0.0
+        self.tasks_launched = 0
+        self.tasks_completed = 0
+        self.tasks_lost = 0
+        self.first_event: Optional[float] = None
+        self.last_event: Optional[float] = None
+
+    # -- JobTracker listener hooks -----------------------------------------
+
+    def on_task_launch(self, task: Task, now: float) -> None:
+        self.tasks_launched += 1
+        self._deltas.append((now, task.workflow_name, task.kind.uses_map_slot, +1))
+        if task.kind is not TaskKind.SUBMIT and not task.speculative:
+            self._progress_events.append((now, task.workflow_name))
+        self._touch(now)
+
+    def on_task_complete(self, task: Task, now: float) -> None:
+        self.tasks_completed += 1
+        self._deltas.append((now, task.workflow_name, task.kind.uses_map_slot, -1))
+        if task.kind.uses_map_slot:
+            self.busy_map_seconds += task.duration
+        else:
+            self.busy_reduce_seconds += task.duration
+        self._touch(now)
+
+    def on_task_lost(self, task: Task, now: float) -> None:
+        """A tracker failure killed a running attempt; the partial work it
+        burned counts as busy slot time (it occupied the slot)."""
+        self.tasks_lost += 1
+        self._deltas.append((now, task.workflow_name, task.kind.uses_map_slot, -1))
+        burned = max(0.0, now - (task.launch_time if task.launch_time is not None else now))
+        if task.kind.uses_map_slot:
+            self.busy_map_seconds += burned
+        else:
+            self.busy_reduce_seconds += burned
+        self._touch(now)
+
+    def _touch(self, now: float) -> None:
+        if self.first_event is None:
+            self.first_event = now
+        self.last_event = now
+
+    # -- derived series -------------------------------------------------------
+
+    @property
+    def window(self) -> float:
+        """Span between the first and last recorded event."""
+        if self.first_event is None or self.last_event is None:
+            return 0.0
+        return self.last_event - self.first_event
+
+    def utilization(self, kind: Optional[TaskKind] = None, window: Optional[float] = None) -> float:
+        """Busy slot-seconds divided by slot capacity over the window.
+
+        With ``kind=None``, both slot pools are combined (this is the
+        cluster utilization of Fig 12).
+        """
+        span = self.window if window is None else window
+        if span <= 0:
+            return 0.0
+        if kind is None:
+            capacity = (self.config.total_map_slots + self.config.total_reduce_slots) * span
+            busy = self.busy_map_seconds + self.busy_reduce_seconds
+        elif kind.uses_map_slot:
+            capacity = self.config.total_map_slots * span
+            busy = self.busy_map_seconds
+        else:
+            capacity = self.config.total_reduce_slots * span
+            busy = self.busy_reduce_seconds
+        return busy / capacity if capacity > 0 else 0.0
+
+    def allocation_series(
+        self, kind: TaskKind, workflow: Optional[str] = None
+    ) -> List[SlotSample]:
+        """Step series of slots of ``kind`` in use over time.
+
+        With ``workflow`` set, only that workflow's tasks are counted —
+        one line of a Fig 14-19 panel.  Events at the same instant are
+        coalesced into a single step.
+        """
+        use_map = kind.uses_map_slot
+        samples: List[SlotSample] = []
+        count = 0
+        for time, wf, is_map, delta in sorted(self._deltas, key=lambda d: d[0]):
+            if is_map is not use_map:
+                continue
+            if workflow is not None and wf != workflow:
+                continue
+            count += delta
+            if samples and samples[-1].time == time:
+                samples[-1] = SlotSample(time, count)
+            else:
+                samples.append(SlotSample(time, count))
+        return samples
+
+    def allocation_matrix(
+        self, kind: TaskKind, workflows: List[str], step: float
+    ) -> Tuple[List[float], Dict[str, List[int]]]:
+        """Sample each workflow's allocation series on a regular grid.
+
+        Returns ``(times, {workflow: counts})`` — the exact data a Fig 14-19
+        panel plots (one stacked line per workflow, darker = earlier
+        release, in the paper's rendering).
+        """
+        if self.first_event is None:
+            return [], {wf: [] for wf in workflows}
+        t0, t1 = self.first_event, self.last_event
+        times = []
+        t = t0
+        while t <= t1 + 1e-9:
+            times.append(t)
+            t += step
+        result: Dict[str, List[int]] = {}
+        for wf in workflows:
+            series = self.allocation_series(kind, wf)
+            counts: List[int] = []
+            idx = 0
+            current = 0
+            for t in times:
+                while idx < len(series) and series[idx].time <= t:
+                    current = series[idx].count
+                    idx += 1
+                counts.append(current)
+            result[wf] = counts
+        return times, result
+
+    def peak_allocation(self, kind: TaskKind, workflow: Optional[str] = None) -> int:
+        """Maximum simultaneous slots of ``kind`` in use."""
+        series = self.allocation_series(kind, workflow)
+        return max((s.count for s in series), default=0)
+
+    def progress_curve(self, workflow: str) -> List[Tuple[float, int]]:
+        """The true progress ``rho_i(t)``: cumulative wjob task launches.
+
+        Submitter and speculative-backup attempts are excluded, matching
+        the scheduler's own accounting.  Plotted against the plan's
+        requirement curve this shows how closely a workflow followed its
+        scheduling plan — the paper's core intuition.
+        """
+        times = sorted(t for t, wf in self._progress_events if wf == workflow)
+        return [(t, i + 1) for i, t in enumerate(times)]

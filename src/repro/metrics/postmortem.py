@@ -1,0 +1,136 @@
+"""Post-mortem analysis of a finished simulation.
+
+Once a run completes, the questions a scheduler author asks are *where did
+the time go*: which jobs sat queued, which chain of jobs actually gated the
+workflow's completion (the **realized critical path** — not the estimated
+one), and how far the workflow ran behind its scheduling plan.
+
+:class:`PostMortem` is a JobTracker listener; register it before running
+and query it afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.job import JobInProgress, SubmitterJob
+from repro.cluster.tasks import Task, TaskKind
+
+__all__ = ["JobSpan", "PostMortem"]
+
+
+@dataclass
+class JobSpan:
+    """Timing breakdown of one wjob's execution."""
+
+    workflow: str
+    name: str
+    submit_time: float
+    first_launch: Optional[float] = None
+    map_phase_end: Optional[float] = None
+    finish_time: Optional[float] = None
+
+    @property
+    def queue_delay(self) -> Optional[float]:
+        """Seconds between master-side submission and the first task launch."""
+        if self.first_launch is None:
+            return None
+        return self.first_launch - self.submit_time
+
+    @property
+    def span(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+
+class PostMortem:
+    """Collects per-job timing and reconstructs realized critical paths."""
+
+    def __init__(self) -> None:
+        self._spans: Dict[Tuple[str, str], JobSpan] = {}
+        self._workflow_defs: Dict[str, object] = {}
+        self._workflow_done: Dict[str, float] = {}
+
+    # -- listener hooks ------------------------------------------------------
+
+    def on_workflow_submitted(self, wip, now: float) -> None:
+        self._workflow_defs[wip.name] = wip.definition
+
+    def on_wjob_submitted(self, jip: JobInProgress, now: float) -> None:
+        if isinstance(jip, SubmitterJob) or jip.workflow_name is None:
+            return
+        self._spans[(jip.workflow_name, jip.name)] = JobSpan(
+            workflow=jip.workflow_name, name=jip.name, submit_time=now
+        )
+
+    def on_task_launch(self, task: Task, now: float) -> None:
+        if task.kind is TaskKind.SUBMIT or task.workflow_name is None:
+            return
+        span = self._spans.get((task.workflow_name, task.job.name))
+        if span is not None and span.first_launch is None:
+            span.first_launch = now
+
+    def on_task_complete(self, task: Task, now: float) -> None:
+        if task.kind is not TaskKind.MAP or task.workflow_name is None:
+            return
+        span = self._spans.get((task.workflow_name, task.job.name))
+        if span is not None and task.job.map_phase_done:
+            span.map_phase_end = now
+
+    def on_job_completed(self, jip: JobInProgress, now: float) -> None:
+        if isinstance(jip, SubmitterJob) or jip.workflow_name is None:
+            return
+        span = self._spans.get((jip.workflow_name, jip.name))
+        if span is not None:
+            span.finish_time = now
+
+    def on_workflow_completed(self, wip, now: float) -> None:
+        self._workflow_done[wip.name] = now
+
+    # -- queries ----------------------------------------------------------------
+
+    def job_spans(self, workflow: str) -> List[JobSpan]:
+        """All recorded job spans of a workflow, in submission order."""
+        spans = [span for (wf, _n), span in self._spans.items() if wf == workflow]
+        return sorted(spans, key=lambda s: (s.submit_time, s.name))
+
+    def realized_critical_path(self, workflow: str) -> List[str]:
+        """The chain of jobs that actually gated completion.
+
+        Walks back from the last-finishing job, at each step following the
+        prerequisite that finished last (the one whose completion released
+        the current job).  Differs from the *estimated* critical path
+        whenever contention or stragglers shifted the bottleneck.
+        """
+        definition = self._workflow_defs.get(workflow)
+        if definition is None:
+            raise KeyError(f"unknown workflow {workflow!r}")
+        finished = {
+            span.name: span.finish_time
+            for span in self.job_spans(workflow)
+            if span.finish_time is not None
+        }
+        if not finished:
+            return []
+        current = max(finished, key=lambda n: (finished[n], n))
+        path = [current]
+        while True:
+            pres = [p for p in definition.prerequisites(current) if p in finished]
+            if not pres:
+                break
+            current = max(pres, key=lambda n: (finished[n], n))
+            path.append(current)
+        return list(reversed(path))
+
+    def total_queue_delay(self, workflow: str) -> float:
+        """Summed submission-to-first-launch delay across the workflow's
+        jobs — the contention cost the scheduler imposed on it."""
+        return sum(
+            span.queue_delay or 0.0
+            for span in self.job_spans(workflow)
+        )
+
+    def completion_time(self, workflow: str) -> Optional[float]:
+        return self._workflow_done.get(workflow)

@@ -1,0 +1,81 @@
+"""Evaluation-metric computation and plain-text table formatting.
+
+These helpers turn per-workflow completion stats into the scalar rows the
+paper's Figs 8-11 plot: deadline miss ratio, maximum tardiness, total
+tardiness, workspans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "deadline_miss_ratio",
+    "max_tardiness",
+    "total_tardiness",
+    "workspans",
+    "format_table",
+]
+
+
+def _tardiness_values(stats: Iterable["WorkflowStats"]) -> List[float]:
+    values = []
+    for s in stats:
+        if s.deadline is None:
+            continue
+        values.append(max(0.0, s.completion_time - s.deadline))
+    return values
+
+
+def deadline_miss_ratio(stats: Iterable["WorkflowStats"]) -> float:
+    """Fraction of deadline-carrying workflows that finished late (Fig 8)."""
+    with_deadline = [s for s in stats if s.deadline is not None]
+    if not with_deadline:
+        return 0.0
+    misses = sum(1 for s in with_deadline if s.completion_time > s.deadline)
+    return misses / len(with_deadline)
+
+
+def max_tardiness(stats: Iterable["WorkflowStats"]) -> float:
+    """Largest lateness over all workflows, 0 if all met (Fig 9)."""
+    return max(_tardiness_values(stats), default=0.0)
+
+
+def total_tardiness(stats: Iterable["WorkflowStats"]) -> float:
+    """Summed lateness over all workflows (Fig 10)."""
+    return sum(_tardiness_values(stats))
+
+
+def workspans(stats: Iterable["WorkflowStats"]) -> Dict[str, float]:
+    """Per-workflow workspan (completion - submission), the Fig 11 metric."""
+    return {s.name: s.workspan for s in stats}
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned monospace table (the bench output format)."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_fmt.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells)))
+    return "\n".join(lines)

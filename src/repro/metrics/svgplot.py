@@ -1,0 +1,329 @@
+"""Dependency-free SVG charts for the reproduced figures.
+
+The benches print the paper's tables; this module turns the same data into
+actual figures (grouped bars, line/step charts, log axes) without any
+plotting library — only SVG text.  Used by ``examples/render_figures.py``
+to write the reproduction's counterparts of the paper's plots.
+
+The API is deliberately tiny::
+
+    chart = SvgChart(title="Fig 8", xlabel="cluster", ylabel="miss ratio")
+    chart.add_line([1, 2, 3], [0.3, 0.2, 0.1], label="FIFO")
+    chart.save("fig8.svg")
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["SvgChart", "GroupedBarChart", "PALETTE"]
+
+#: Colour-blind-safe categorical palette (Okabe-Ito).
+PALETTE = [
+    "#0072B2",  # blue
+    "#D55E00",  # vermillion
+    "#009E73",  # green
+    "#CC79A7",  # purple
+    "#E69F00",  # orange
+    "#56B4E9",  # sky
+    "#F0E442",  # yellow
+    "#000000",  # black
+]
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _ticks(lo: float, hi: float, target: int = 5) -> List[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw_step = span / max(target, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = magnitude * mult
+        if span / step <= target + 1:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + 1e-12:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _log_ticks(lo: float, hi: float) -> List[float]:
+    ticks = []
+    exponent = math.floor(math.log10(max(lo, 1e-12)))
+    while 10 ** exponent <= hi * 1.0001:
+        if 10 ** exponent >= lo * 0.9999:
+            ticks.append(10.0 ** exponent)
+        exponent += 1
+    return ticks or [lo, hi]
+
+
+@dataclass
+class _Series:
+    xs: List[float]
+    ys: List[float]
+    label: str
+    color: str
+    step: bool = False
+    dashed: bool = False
+
+
+class SvgChart:
+    """A line/step chart with optional logarithmic axes."""
+
+    def __init__(
+        self,
+        title: str = "",
+        xlabel: str = "",
+        ylabel: str = "",
+        width: int = 640,
+        height: int = 400,
+        xlog: bool = False,
+        ylog: bool = False,
+    ) -> None:
+        self.title = title
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+        self.width = width
+        self.height = height
+        self.xlog = xlog
+        self.ylog = ylog
+        self._series: List[_Series] = []
+        self.margin = (56, 16, 44, 64)  # top, right, bottom(+label), left(+label)
+
+    def add_line(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        label: str = "",
+        color: Optional[str] = None,
+        dashed: bool = False,
+    ) -> None:
+        """Add a polyline series."""
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        if not xs:
+            raise ValueError("empty series")
+        color = color or PALETTE[len(self._series) % len(PALETTE)]
+        self._series.append(_Series(list(map(float, xs)), list(map(float, ys)), label, color, dashed=dashed))
+
+    def add_step(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        label: str = "",
+        color: Optional[str] = None,
+    ) -> None:
+        """Add a step (staircase) series — e.g. a progress-requirement curve."""
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        if not xs:
+            raise ValueError("empty series")
+        color = color or PALETTE[len(self._series) % len(PALETTE)]
+        self._series.append(_Series(list(map(float, xs)), list(map(float, ys)), label, color, step=True))
+
+    # -- rendering -------------------------------------------------------------
+
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [x for s in self._series for x in s.xs]
+        ys = [y for s in self._series for y in s.ys]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if not self.ylog:
+            y_lo = min(y_lo, 0.0)
+            y_hi = y_hi + 0.05 * (y_hi - y_lo or 1.0)
+        return x_lo, x_hi, y_lo, y_hi
+
+    def _scale(self, value: float, lo: float, hi: float, pixel_lo: float, pixel_hi: float, log: bool) -> float:
+        if log:
+            value, lo, hi = math.log10(max(value, 1e-12)), math.log10(max(lo, 1e-12)), math.log10(max(hi, 1e-12))
+        if hi == lo:
+            return (pixel_lo + pixel_hi) / 2
+        frac = (value - lo) / (hi - lo)
+        return pixel_lo + frac * (pixel_hi - pixel_lo)
+
+    def render(self) -> str:
+        """The chart as an SVG document string."""
+        if not self._series:
+            raise ValueError("no series added")
+        top, right, bottom, left = self.margin
+        plot_w = self.width - left - right
+        plot_h = self.height - top - bottom
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+
+        def sx(x: float) -> float:
+            return self._scale(x, x_lo, x_hi, left, left + plot_w, self.xlog)
+
+        def sy(y: float) -> float:
+            return self._scale(y, y_lo, y_hi, top + plot_h, top, self.ylog)
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}" font-family="sans-serif" font-size="12">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="22" text-anchor="middle" font-size="14" font-weight="bold">'
+            f"{_escape(self.title)}</text>",
+        ]
+        # Axes frame.
+        parts.append(
+            f'<rect x="{left}" y="{top}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#444"/>'
+        )
+        # Ticks and grid.
+        x_ticks = _log_ticks(x_lo, x_hi) if self.xlog else _ticks(x_lo, x_hi)
+        y_ticks = _log_ticks(y_lo, y_hi) if self.ylog else _ticks(y_lo, y_hi)
+        for tick in x_ticks:
+            px = sx(tick)
+            parts.append(f'<line x1="{px:.1f}" y1="{top}" x2="{px:.1f}" y2="{top + plot_h}" stroke="#ddd"/>')
+            label = f"{tick:g}"
+            parts.append(
+                f'<text x="{px:.1f}" y="{top + plot_h + 16}" text-anchor="middle">{label}</text>'
+            )
+        for tick in y_ticks:
+            py = sy(tick)
+            parts.append(f'<line x1="{left}" y1="{py:.1f}" x2="{left + plot_w}" y2="{py:.1f}" stroke="#ddd"/>')
+            parts.append(
+                f'<text x="{left - 6}" y="{py + 4:.1f}" text-anchor="end">{tick:g}</text>'
+            )
+        # Axis labels.
+        if self.xlabel:
+            parts.append(
+                f'<text x="{left + plot_w / 2}" y="{self.height - 8}" text-anchor="middle">'
+                f"{_escape(self.xlabel)}</text>"
+            )
+        if self.ylabel:
+            parts.append(
+                f'<text x="14" y="{top + plot_h / 2}" text-anchor="middle" '
+                f'transform="rotate(-90 14 {top + plot_h / 2})">{_escape(self.ylabel)}</text>'
+            )
+        # Series.
+        for series in self._series:
+            points: List[Tuple[float, float]] = []
+            for i, (x, y) in enumerate(zip(series.xs, series.ys)):
+                if series.step and points:
+                    points.append((sx(x), points[-1][1]))
+                points.append((sx(x), sy(y)))
+            path = " ".join(f"{px:.1f},{py:.1f}" for px, py in points)
+            dash = ' stroke-dasharray="6,4"' if series.dashed else ""
+            parts.append(
+                f'<polyline points="{path}" fill="none" stroke="{series.color}" stroke-width="2"{dash}/>'
+            )
+        # Legend.
+        legend_y = top + 8
+        for series in self._series:
+            if not series.label:
+                continue
+            parts.append(
+                f'<line x1="{left + plot_w - 130}" y1="{legend_y}" x2="{left + plot_w - 106}" '
+                f'y2="{legend_y}" stroke="{series.color}" stroke-width="3"/>'
+            )
+            parts.append(
+                f'<text x="{left + plot_w - 100}" y="{legend_y + 4}">{_escape(series.label)}</text>'
+            )
+            legend_y += 16
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.render())
+
+
+class GroupedBarChart:
+    """Grouped vertical bars — the Fig 8-12 shape."""
+
+    def __init__(
+        self,
+        title: str = "",
+        xlabel: str = "",
+        ylabel: str = "",
+        width: int = 640,
+        height: int = 400,
+    ) -> None:
+        self.title = title
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+        self.width = width
+        self.height = height
+        self.groups: List[str] = []
+        self._series: List[Tuple[str, List[float], str]] = []
+
+    def set_groups(self, groups: Sequence[str]) -> None:
+        self.groups = list(groups)
+
+    def add_series(self, label: str, values: Sequence[float], color: Optional[str] = None) -> None:
+        if len(values) != len(self.groups):
+            raise ValueError(f"expected {len(self.groups)} values, got {len(values)}")
+        color = color or PALETTE[len(self._series) % len(PALETTE)]
+        self._series.append((label, list(map(float, values)), color))
+
+    def render(self) -> str:
+        if not self.groups or not self._series:
+            raise ValueError("set_groups and add_series must be called first")
+        top, right, bottom, left = 56, 16, 44, 64
+        plot_w = self.width - left - right
+        plot_h = self.height - top - bottom
+        y_hi = max(v for _l, values, _c in self._series for v in values)
+        y_hi = y_hi * 1.1 if y_hi > 0 else 1.0
+
+        def sy(y: float) -> float:
+            return top + plot_h - (y / y_hi) * plot_h
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}" font-family="sans-serif" font-size="12">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="22" text-anchor="middle" font-size="14" font-weight="bold">'
+            f"{_escape(self.title)}</text>",
+            f'<rect x="{left}" y="{top}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#444"/>',
+        ]
+        for tick in _ticks(0.0, y_hi):
+            py = sy(tick)
+            parts.append(f'<line x1="{left}" y1="{py:.1f}" x2="{left + plot_w}" y2="{py:.1f}" stroke="#ddd"/>')
+            parts.append(f'<text x="{left - 6}" y="{py + 4:.1f}" text-anchor="end">{tick:g}</text>')
+        group_w = plot_w / len(self.groups)
+        bar_w = group_w * 0.8 / len(self._series)
+        for gi, group in enumerate(self.groups):
+            gx = left + gi * group_w
+            parts.append(
+                f'<text x="{gx + group_w / 2:.1f}" y="{top + plot_h + 16}" text-anchor="middle">'
+                f"{_escape(group)}</text>"
+            )
+            for si, (_label, values, color) in enumerate(self._series):
+                bx = gx + group_w * 0.1 + si * bar_w
+                by = sy(values[gi])
+                parts.append(
+                    f'<rect x="{bx:.1f}" y="{by:.1f}" width="{bar_w:.1f}" '
+                    f'height="{top + plot_h - by:.1f}" fill="{color}"/>'
+                )
+        if self.xlabel:
+            parts.append(
+                f'<text x="{left + plot_w / 2}" y="{self.height - 8}" text-anchor="middle">'
+                f"{_escape(self.xlabel)}</text>"
+            )
+        if self.ylabel:
+            parts.append(
+                f'<text x="14" y="{top + plot_h / 2}" text-anchor="middle" '
+                f'transform="rotate(-90 14 {top + plot_h / 2})">{_escape(self.ylabel)}</text>'
+            )
+        legend_y = top + 8
+        for label, _values, color in self._series:
+            parts.append(
+                f'<rect x="{left + plot_w - 130}" y="{legend_y - 8}" width="20" height="10" fill="{color}"/>'
+            )
+            parts.append(f'<text x="{left + plot_w - 104}" y="{legend_y + 1}">{_escape(label)}</text>')
+            legend_y += 16
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.render())

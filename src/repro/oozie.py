@@ -1,0 +1,69 @@
+"""Oozie-lite: the baseline workflow submission path (paper §I, §VII).
+
+Oozie keeps workflow topology to itself and submits each job to Hadoop once
+its prerequisites have finished; Hadoop sees only independent jobs.  This
+*information separation* is exactly what WOHA removes, so the coordinator
+here is deliberately minimal: it never shares plans or priorities with the
+JobTracker.
+
+The coordinator registers as a JobTracker listener.  With
+``poll_interval == 0`` a ready wjob is submitted on the completion event
+itself; otherwise submissions happen on the coordinator's next poll tick,
+modelling Oozie's action-materialisation delay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.cluster.job import JobInProgress
+from repro.cluster.jobtracker import JobTracker, WorkflowInProgress
+from repro.events import Simulator
+from repro.workflow.model import Workflow
+
+__all__ = ["OozieCoordinator"]
+
+
+class OozieCoordinator:
+    """Submits each wjob to the JobTracker when its input data is ready."""
+
+    def __init__(self, sim: Simulator, jobtracker: JobTracker, poll_interval: Optional[float] = None) -> None:
+        self.sim = sim
+        self.jobtracker = jobtracker
+        self.poll_interval = (
+            jobtracker.config.oozie_poll_interval if poll_interval is None else poll_interval
+        )
+        self._managed: Set[str] = set()
+        self._pending_poll = False
+        jobtracker.add_listener(self)
+
+    def submit_workflow(self, workflow: Workflow) -> WorkflowInProgress:
+        """Register the workflow and immediately submit its root wjobs."""
+        wip = self.jobtracker.submit_workflow(workflow, plan=None, use_submitter=False)
+        self._managed.add(workflow.name)
+        self._submit_ready(wip)
+        return wip
+
+    def _submit_ready(self, wip: WorkflowInProgress) -> None:
+        for name in wip.ready_wjobs():
+            self.jobtracker.submit_wjob(wip.name, name)
+
+    # -- JobTracker listener hooks -----------------------------------------
+
+    def on_job_completed(self, jip: JobInProgress, now: float) -> None:
+        if jip.workflow_name not in self._managed:
+            return
+        if self.poll_interval <= 0:
+            self._submit_ready(self.jobtracker.workflows[jip.workflow_name])
+        elif not self._pending_poll:
+            self._pending_poll = True
+            self.sim.schedule_after(self.poll_interval, self._poll)
+
+    def _poll(self) -> None:
+        self._pending_poll = False
+        # sorted: set iteration is hash-ordered and would break
+        # cross-process reproducibility of submission order.
+        for name in sorted(self._managed):
+            wip = self.jobtracker.workflows[name]
+            if not wip.done:
+                self._submit_ready(wip)

@@ -1,0 +1,13 @@
+"""Workflow schedulers: the WOHA-ported baselines of paper §V-B.
+
+The WOHA progress-based scheduler itself lives in :mod:`repro.core.scheduler`;
+everything here implements the same :class:`~repro.schedulers.base.WorkflowScheduler`
+interface the JobTracker drives.
+"""
+
+from repro.schedulers.base import WorkflowScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.edf import EdfScheduler
+
+__all__ = ["WorkflowScheduler", "FifoScheduler", "FairScheduler", "EdfScheduler"]

@@ -1,0 +1,67 @@
+"""The Workflow Scheduler interface the JobTracker consults.
+
+In WOHA (paper §III-B) the JobTracker delegates every task-assignment
+decision triggered by a heartbeat to a pluggable *Workflow Scheduler*; users
+swap implementations by editing ``workflow-scheduler.xml``.  Here the
+equivalent is passing a different :class:`WorkflowScheduler` to the
+simulation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+from repro.cluster.tasks import Task, TaskKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.job import JobInProgress
+    from repro.cluster.jobtracker import JobTracker, WorkflowInProgress
+
+__all__ = ["WorkflowScheduler"]
+
+
+class WorkflowScheduler(abc.ABC):
+    """Task-assignment policy plugged into the JobTracker.
+
+    Lifecycle callbacks keep the scheduler's internal queues in sync with
+    the cluster; :meth:`select_task` answers "which task should the next
+    free slot of this kind run?" and is called once per assignment, exactly
+    like Hadoop-1's ``TaskScheduler.assignTasks`` loop.
+    """
+
+    def __init__(self) -> None:
+        self.jobtracker: Optional["JobTracker"] = None
+
+    def bind(self, jobtracker: "JobTracker") -> None:
+        """Called once by the JobTracker before any other callback."""
+        self.jobtracker = jobtracker
+
+    # -- lifecycle notifications (default: ignore) -----------------------
+
+    def on_workflow_submitted(self, wip: "WorkflowInProgress", now: float) -> None:
+        """A workflow's configuration arrived at the master."""
+
+    def on_wjob_submitted(self, jip: "JobInProgress", now: float) -> None:
+        """A runnable job (wjob or submitter) was registered."""
+
+    def on_job_completed(self, jip: "JobInProgress", now: float) -> None:
+        """A job finished all of its tasks."""
+
+    def on_workflow_completed(self, wip: "WorkflowInProgress", now: float) -> None:
+        """Every wjob of the workflow finished."""
+
+    def on_task_assigned(self, task: Task, now: float) -> None:
+        """A task this scheduler returned was launched (progress hook)."""
+
+    # -- the decision ------------------------------------------------------
+
+    @abc.abstractmethod
+    def select_task(self, kind: TaskKind, now: float) -> Optional[Task]:
+        """Return the next task to run on a free slot of ``kind``.
+
+        ``kind`` is MAP or REDUCE (a map slot may receive a SUBMIT task).
+        Return ``None`` when nothing runnable exists — the JobTracker stops
+        asking until the next scheduling event.  Implementations must be
+        work-conserving unless they explicitly document otherwise.
+        """

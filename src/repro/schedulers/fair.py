@@ -1,0 +1,51 @@
+"""Oozie + Fair (paper §V-B): the Facebook FairScheduler behaviour.
+
+"All running jobs evenly share the resources of the Hadoop cluster in a
+work conserving way."  We implement the classic deficit form: a free slot
+of a kind goes to the runnable job currently occupying the fewest slots of
+that kind (ties broken by submission time, then job id), which converges to
+an even split while never idling a slot a job could use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.job import JobInProgress
+from repro.cluster.tasks import Task, TaskKind
+from repro.schedulers.base import WorkflowScheduler
+
+__all__ = ["FairScheduler"]
+
+
+class FairScheduler(WorkflowScheduler):
+    """Even slot sharing across running jobs."""
+
+    name = "Fair"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._jobs: List[JobInProgress] = []
+
+    def on_wjob_submitted(self, jip: JobInProgress, now: float) -> None:
+        self._jobs.append(jip)
+
+    def on_job_completed(self, jip: JobInProgress, now: float) -> None:
+        try:
+            self._jobs.remove(jip)
+        except ValueError:
+            pass
+
+    def select_task(self, kind: TaskKind, now: float) -> Optional[Task]:
+        best: Optional[JobInProgress] = None
+        best_key = None
+        for jip in self._jobs:
+            if jip.completed or not jip.has_runnable(kind):
+                continue
+            occupancy = jip.running_maps if kind.uses_map_slot else jip.running_reduces
+            key = (occupancy, jip.submit_time, jip.job_id)
+            if best_key is None or key < best_key:
+                best, best_key = jip, key
+        if best is None:
+            return None
+        return best.obtain(kind)

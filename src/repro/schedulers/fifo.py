@@ -1,0 +1,47 @@
+"""Oozie + FIFO (paper §V-B): Hadoop's default JobQueueTaskScheduler.
+
+Jobs are held in submission order; to fill a slot the scheduler walks the
+ordered list until it finds a job with an available task of the right kind.
+Workflow structure and deadlines are invisible — exactly the information
+separation the paper criticises.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.job import JobInProgress
+from repro.cluster.tasks import Task, TaskKind
+from repro.schedulers.base import WorkflowScheduler
+
+__all__ = ["FifoScheduler"]
+
+
+class FifoScheduler(WorkflowScheduler):
+    """First-in, first-out over submitted jobs."""
+
+    name = "FIFO"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: List[JobInProgress] = []
+
+    def on_wjob_submitted(self, jip: JobInProgress, now: float) -> None:
+        self._queue.append(jip)
+
+    def on_job_completed(self, jip: JobInProgress, now: float) -> None:
+        # Lazy removal also happens in select_task; eager removal here keeps
+        # the queue short for long runs.
+        try:
+            self._queue.remove(jip)
+        except ValueError:
+            pass
+
+    def select_task(self, kind: TaskKind, now: float) -> Optional[Task]:
+        for jip in self._queue:
+            if jip.completed:
+                continue
+            task = jip.obtain(kind)
+            if task is not None:
+                return task
+        return None

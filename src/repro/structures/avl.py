@@ -1,0 +1,182 @@
+"""AVL tree: the "BST" comparison point of the paper's Fig 13a.
+
+A balanced search tree supports the same O(log n) insert/delete as the
+deterministic skip list, but head (minimum) deletion also costs O(log n)
+rebalancing — the cost the Double Skip List avoids, which is exactly the
+difference Fig 13a visualises.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.structures.base import OrderedMap
+
+__all__ = ["AvlTree"]
+
+
+class _AvlNode:
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key: Any, value: Any):
+        self.key = key
+        self.value = value
+        self.left: Optional["_AvlNode"] = None
+        self.right: Optional["_AvlNode"] = None
+        self.height = 1
+
+
+def _h(node: Optional[_AvlNode]) -> int:
+    return node.height if node is not None else 0
+
+
+def _update(node: _AvlNode) -> None:
+    node.height = 1 + max(_h(node.left), _h(node.right))
+
+
+def _balance_factor(node: _AvlNode) -> int:
+    return _h(node.left) - _h(node.right)
+
+
+def _rotate_right(y: _AvlNode) -> _AvlNode:
+    x = y.left
+    y.left = x.right
+    x.right = y
+    _update(y)
+    _update(x)
+    return x
+
+
+def _rotate_left(x: _AvlNode) -> _AvlNode:
+    y = x.right
+    x.right = y.left
+    y.left = x
+    _update(x)
+    _update(y)
+    return y
+
+
+def _rebalance(node: _AvlNode) -> _AvlNode:
+    _update(node)
+    bf = _balance_factor(node)
+    if bf > 1:
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if bf < -1:
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AvlTree(OrderedMap):
+    """A classic AVL tree implementing :class:`OrderedMap`."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_AvlNode] = None
+        self._len = 0
+
+    # -- OrderedMap API ------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        self._root = self._insert(self._root, key, value)
+        self._len += 1
+
+    def _insert(self, node: Optional[_AvlNode], key: Any, value: Any) -> _AvlNode:
+        if node is None:
+            return _AvlNode(key, value)
+        if key < node.key:
+            node.left = self._insert(node.left, key, value)
+        elif key > node.key:
+            node.right = self._insert(node.right, key, value)
+        else:
+            raise KeyError(f"duplicate key {key!r}")
+        return _rebalance(node)
+
+    def delete(self, key: Any) -> Any:
+        holder: List[Any] = []
+        self._root = self._delete(self._root, key, holder)
+        self._len -= 1
+        return holder[0]
+
+    def _delete(self, node: Optional[_AvlNode], key: Any, holder: List[Any]) -> Optional[_AvlNode]:
+        if node is None:
+            raise KeyError(key)
+        if key < node.key:
+            node.left = self._delete(node.left, key, holder)
+        elif key > node.key:
+            node.right = self._delete(node.right, key, holder)
+        else:
+            holder.append(node.value)
+            if node.left is None:
+                return node.right
+            if node.right is None:
+                return node.left
+            # Two children: splice in the in-order successor.
+            succ = node.right
+            while succ.left is not None:
+                succ = succ.left
+            node.key, node.value = succ.key, succ.value
+            scrap: List[Any] = []
+            node.right = self._delete(node.right, succ.key, scrap)
+        return _rebalance(node)
+
+    def peek_head(self) -> Optional[Tuple[Any, Any]]:
+        node = self._root
+        if node is None:
+            return None
+        while node.left is not None:
+            node = node.left
+        return node.key, node.value
+
+    def pop_head(self) -> Tuple[Any, Any]:
+        head = self.peek_head()
+        if head is None:
+            raise KeyError("pop_head from empty tree")
+        self.delete(head[0])
+        return head
+
+    def find(self, key: Any) -> Any:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif key > node.key:
+                node = node.right
+            else:
+                return node.value
+        raise KeyError(key)
+
+    def __len__(self) -> int:
+        return self._len
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        stack: List[_AvlNode] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    # -- verification ---------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert AVL balance, ordering and size; used by tests."""
+        keys = [key for key, _ in self.items()]
+        assert len(keys) == self._len
+        for a, b in zip(keys, keys[1:]):
+            assert a < b, f"not strictly ascending at {a!r} >= {b!r}"
+        self._check(self._root)
+
+    def _check(self, node: Optional[_AvlNode]) -> int:
+        if node is None:
+            return 0
+        lh = self._check(node.left)
+        rh = self._check(node.right)
+        assert abs(lh - rh) <= 1, f"unbalanced at {node.key!r}"
+        assert node.height == 1 + max(lh, rh), f"stale height at {node.key!r}"
+        return node.height

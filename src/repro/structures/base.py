@@ -1,0 +1,55 @@
+"""The ordered-map interface shared by the scheduler's queue back-ends."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterator, Optional, Tuple
+
+__all__ = ["OrderedMap"]
+
+
+class OrderedMap(abc.ABC):
+    """A key-ordered map with cheap access to the minimum.
+
+    Keys must be unique and mutually comparable (the scheduler uses tuples
+    with a tie-breaking id component).  The operations named in the paper's
+    complexity analysis map as: ``A^h``/``D^h`` = :meth:`peek_head` /
+    :meth:`pop_head`, ``I^a``/``D^a`` = :meth:`insert` / :meth:`delete`.
+    """
+
+    @abc.abstractmethod
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert a new key.  Raises ``KeyError`` if the key already exists."""
+
+    @abc.abstractmethod
+    def delete(self, key: Any) -> Any:
+        """Remove a key, returning its value.  Raises ``KeyError`` if absent."""
+
+    @abc.abstractmethod
+    def peek_head(self) -> Optional[Tuple[Any, Any]]:
+        """The (key, value) with the smallest key, or ``None`` when empty."""
+
+    @abc.abstractmethod
+    def pop_head(self) -> Tuple[Any, Any]:
+        """Remove and return the smallest entry.  Raises ``KeyError`` if empty."""
+
+    @abc.abstractmethod
+    def find(self, key: Any) -> Any:
+        """Return the value stored under ``key``.  Raises ``KeyError`` if absent."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    @abc.abstractmethod
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All entries in ascending key order."""
+
+    def __contains__(self, key: Any) -> bool:
+        try:
+            self.find(key)
+            return True
+        except KeyError:
+            return False
+
+    def __iter__(self) -> Iterator[Any]:
+        return (key for key, _ in self.items())

@@ -1,0 +1,167 @@
+"""The Double Skip List of paper §IV-B.
+
+Two cross-linked ordered lists over the same set of workflows:
+
+* the **ct list**, ordered by each workflow's next progress-requirement
+  change time (``W_h.t``), ascending — the scheduler walks its head to find
+  workflows whose requirement just changed;
+* the **priority list**, ordered by current inter-workflow priority
+  (``W_h.p = F_h(ttd) - rho_h``, the progress *lag*), highest first — its
+  head is the workflow to serve next.
+
+The cross-link is the shared :class:`DoubleEntry`: deleting a workflow from
+one list hands you everything needed to find it in the other in O(1), which
+is what makes Algorithm 2's head-walk cheap.  Both constituent lists default
+to :class:`~repro.structures.skiplist.DeterministicSkipList` (the "DSL" of
+Fig 13a) but accept any :class:`~repro.structures.base.OrderedMap` factory,
+giving the BST variant of the same figure for free.
+
+Key layout: ct keys are ``(ct, item_id)`` and priority keys
+``(-priority, item_id)`` — the id component breaks ties deterministically,
+and negation turns "largest lag first" into the maps' ascending order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.structures.base import OrderedMap
+from repro.structures.skiplist import DeterministicSkipList
+
+__all__ = ["DoubleEntry", "DoubleSkipList"]
+
+
+@dataclass
+class DoubleEntry:
+    """One workflow's node pair, shared by both lists."""
+
+    item_id: Any
+    ct: float
+    priority: float
+    payload: Any = None
+
+    @property
+    def ct_key(self) -> Tuple[float, Any]:
+        return (self.ct, self.item_id)
+
+    @property
+    def priority_key(self) -> Tuple[float, Any]:
+        return (-self.priority, self.item_id)
+
+
+class DoubleSkipList:
+    """The two-index workflow queue of §IV-B."""
+
+    def __init__(self, map_factory: Callable[[], OrderedMap] = DeterministicSkipList) -> None:
+        self._ct_list = map_factory()
+        self._priority_list = map_factory()
+        self._entries: Dict[Any, DoubleEntry] = {}
+
+    # -- basic operations ----------------------------------------------------
+
+    def insert(self, item_id: Any, ct: float, priority: float, payload: Any = None) -> DoubleEntry:
+        """Add a workflow under both orderings."""
+        if item_id in self._entries:
+            raise KeyError(f"item {item_id!r} already present")
+        entry = DoubleEntry(item_id=item_id, ct=ct, priority=priority, payload=payload)
+        self._ct_list.insert(entry.ct_key, entry)
+        self._priority_list.insert(entry.priority_key, entry)
+        self._entries[item_id] = entry
+        return entry
+
+    def remove(self, item_id: Any) -> DoubleEntry:
+        """Remove a workflow from both lists (e.g. on completion)."""
+        entry = self._entries.pop(item_id)
+        self._ct_list.delete(entry.ct_key)
+        self._priority_list.delete(entry.priority_key)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, item_id: Any) -> bool:
+        return item_id in self._entries
+
+    def get(self, item_id: Any) -> DoubleEntry:
+        """Look an entry up by its id (the O(1) cross-link access)."""
+        return self._entries[item_id]
+
+    # -- heads ----------------------------------------------------------------
+
+    def head_by_ct(self) -> Optional[DoubleEntry]:
+        """The workflow whose progress requirement changes soonest."""
+        head = self._ct_list.peek_head()
+        return None if head is None else head[1]
+
+    def head_by_priority(self) -> Optional[DoubleEntry]:
+        """The workflow with the largest progress lag."""
+        head = self._priority_list.peek_head()
+        return None if head is None else head[1]
+
+    def iter_by_priority(self) -> Iterator[DoubleEntry]:
+        """All workflows, largest lag first (used for work-conserving scans)."""
+        return (entry for _key, entry in self._priority_list.items())
+
+    def iter_by_ct(self) -> Iterator[DoubleEntry]:
+        """All workflows, soonest requirement change first."""
+        return (entry for _key, entry in self._ct_list.items())
+
+    # -- the two update paths of Algorithm 2 ----------------------------------
+
+    def update_head_ct(self, new_ct: float, new_priority: float) -> DoubleEntry:
+        """Reposition the ct-head after its requirement change fired.
+
+        This is the paper's cheap path: the ct deletion is a head deletion
+        (O(1)); the reinsertion and the priority-list move are O(log n).
+        """
+        key, entry = self._ct_list.pop_head()
+        assert key == entry.ct_key
+        self._priority_list.delete(entry.priority_key)
+        entry.ct = new_ct
+        entry.priority = new_priority
+        self._ct_list.insert(entry.ct_key, entry)
+        self._priority_list.insert(entry.priority_key, entry)
+        return entry
+
+    def update_priority(self, item_id: Any, new_priority: float) -> DoubleEntry:
+        """Reposition one workflow in the priority list only.
+
+        Used after a task assignment (``rho += 1`` so the lag drops by one).
+        When the workflow is the current priority head — the common case,
+        since assignments go to the head — the deletion is O(1).
+        """
+        entry = self._entries[item_id]
+        head = self._priority_list.peek_head()
+        if head is not None and head[0] == entry.priority_key:
+            self._priority_list.pop_head()
+        else:
+            self._priority_list.delete(entry.priority_key)
+        entry.priority = new_priority
+        self._priority_list.insert(entry.priority_key, entry)
+        return entry
+
+    def update_ct(self, item_id: Any, new_ct: float) -> DoubleEntry:
+        """Reposition one workflow in the ct list only."""
+        entry = self._entries[item_id]
+        self._ct_list.delete(entry.ct_key)
+        entry.ct = new_ct
+        self._ct_list.insert(entry.ct_key, entry)
+        return entry
+
+    # -- verification -----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Both lists contain exactly the registered entries, consistently keyed."""
+        assert len(self._ct_list) == len(self._entries)
+        assert len(self._priority_list) == len(self._entries)
+        for key, entry in self._ct_list.items():
+            assert key == entry.ct_key
+            assert self._entries[entry.item_id] is entry
+        for key, entry in self._priority_list.items():
+            assert key == entry.priority_key
+            assert self._entries[entry.item_id] is entry
+        for checkable in (self._ct_list, self._priority_list):
+            check = getattr(checkable, "check_invariants", None)
+            if check is not None:
+                check()

@@ -1,0 +1,296 @@
+"""A deterministic 1-2-3 skip list (Munro, Papadakis & Sedgewick, SODA '92).
+
+The invariant: at every level ``l >= 1``, the *gap* between two horizontally
+consecutive level-``l`` nodes — the number of level-``l-1`` nodes strictly
+between their towers — never exceeds 3.  Searches therefore take at most 3
+rightward steps per level, giving worst-case O(log n) search/insert/delete,
+which is why the paper picks this structure over Pugh's probabilistic lists
+for the master node's scheduler.
+
+Implementation notes (documented deviations, none visible through the API):
+
+* Insertion is the textbook top-down pass: before descending into a gap of
+  size 3, raise the gap's middle element one level, exactly like top-down
+  2-3-4-tree splitting.  The upper bound (<= 3) can then never break.
+* Deletion unlinks the key's whole tower, then repairs *oversized* merged
+  gaps bottom-up by raising middle elements.  Undersized (even empty) gaps
+  are tolerated: an empty gap costs searches nothing — only the upper bound
+  matters for the O(log) walk — at the price of the height being
+  O(log n_max) in the maximum historical size rather than the live size.
+  This keeps deletion simple (no borrow/merge cascade) while preserving
+  every bound the scheduler relies on.
+* **Head deletion is O(tower height) with no repair at all**: the head
+  element's left gap is empty at every level, so removing its tower can
+  only shrink gaps.  This is the cheap ``D^h`` operation the Double Skip
+  List's complexity analysis (paper §IV-B) counts as O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.structures.base import OrderedMap
+
+__all__ = ["DeterministicSkipList"]
+
+
+class _PosInf:
+    """Sentinel key greater than every real key."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __le__(self, other: Any) -> bool:
+        return other is self
+
+    def __gt__(self, other: Any) -> bool:
+        return other is not self
+
+    def __ge__(self, other: Any) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "+inf"
+
+
+_POS_INF = _PosInf()
+
+
+class _Node:
+    __slots__ = ("key", "value", "right", "down")
+
+    def __init__(self, key: Any, value: Any = None, right: "_Node" = None, down: "_Node" = None):
+        self.key = key
+        self.value = value
+        self.right = right
+        self.down = down
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_Node({self.key!r})"
+
+
+class DeterministicSkipList(OrderedMap):
+    """1-2-3 deterministic skip list implementing :class:`OrderedMap`."""
+
+    def __init__(self) -> None:
+        self._tail = _Node(_POS_INF)
+        self._tail.right = self._tail
+        self._tail.down = self._tail
+        # One head node per level, bottom (level 0) first.  The top level is
+        # kept empty (head.right is tail) so raises at the current top have
+        # somewhere to land.
+        bottom = _Node(None, right=self._tail)
+        self._heads: List[_Node] = [bottom]
+        self._len = 0
+
+    # -- internals ---------------------------------------------------------
+
+    def _grow_if_needed(self) -> None:
+        """Keep the invariant that the topmost level is empty."""
+        while self._heads[-1].right is not self._tail:
+            new_head = _Node(None, right=self._tail, down=self._heads[-1])
+            self._heads.append(new_head)
+
+    def _gap_nodes(self, upper: _Node, bound_key: Any, limit: int = 0) -> List[_Node]:
+        """Level-below nodes strictly between ``upper``'s tower and the tower
+        keyed ``bound_key``.  With ``limit``, stop collecting past it (the
+        caller only needs to know "more than 3")."""
+        nodes: List[_Node] = []
+        node = upper.down.right
+        while node.key != bound_key:
+            nodes.append(node)
+            if limit and len(nodes) > limit:
+                break
+            node = node.right
+        return nodes
+
+    def _raise_middle(self, upper: _Node) -> _Node:
+        """Raise the 2nd element of the gap right of ``upper`` one level up.
+
+        Returns the newly created upper-level node.
+        """
+        first = upper.down.right
+        second = first.right
+        new_node = _Node(second.key, right=upper.right, down=second)
+        upper.right = new_node
+        return new_node
+
+    # -- OrderedMap API ------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        if key is None:
+            raise TypeError("None is not a valid key")
+        # A duplicate key may only be detected after the top-down pass has
+        # already split a gap; splits are always structurally safe, but the
+        # empty-top invariant must be restored even on the error path.
+        try:
+            x = self._heads[-1]
+            level = len(self._heads) - 1
+            while level > 0:
+                while x.right.key < key:
+                    x = x.right
+                if x.right.key == key:
+                    raise KeyError(f"duplicate key {key!r}")
+                # Top-down split: never descend into a full gap.
+                gap = self._gap_nodes(x, x.right.key, limit=3)
+                if len(gap) >= 3:
+                    raised = self._raise_middle(x)
+                    if raised.key < key:
+                        x = raised
+                    elif raised.key == key:
+                        raise KeyError(f"duplicate key {key!r}")
+                x = x.down
+                level -= 1
+            while x.right.key < key:
+                x = x.right
+            if x.right.key == key:
+                raise KeyError(f"duplicate key {key!r}")
+            x.right = _Node(key, value=value, right=x.right)
+            self._len += 1
+        finally:
+            self._grow_if_needed()
+
+    def delete(self, key: Any) -> Any:
+        preds = self._find_preds(key)
+        victim = preds[0].right
+        if victim.key != key:
+            raise KeyError(key)
+        value = victim.value
+        # Unlink the whole tower.
+        tower_top = 0
+        for level, pred in enumerate(preds):
+            if pred.right.key == key:
+                pred.right = pred.right.right
+                tower_top = level
+        self._len -= 1
+        # Repair oversized merged gaps bottom-up.  Level l's repair can grow
+        # the gap at l+1, so keep going while changes happen below.
+        level = 1
+        dirty_below = True
+        while level <= tower_top + 1 or dirty_below:
+            if level >= len(self._heads):
+                self._grow_if_needed()
+                if level >= len(self._heads):
+                    break
+            pred = preds[level] if level < len(preds) else self._heads[level]
+            dirty_below = False
+            while True:
+                gap = self._gap_nodes(pred, pred.right.key, limit=3)
+                if len(gap) <= 3:
+                    break
+                pred = self._raise_middle(pred)
+                dirty_below = True
+            level += 1
+        self._shrink()
+        self._grow_if_needed()
+        return value
+
+    def _find_preds(self, key: Any) -> List[_Node]:
+        """Per-level strict predecessors of ``key``, bottom first."""
+        preds: List[_Node] = [None] * len(self._heads)
+        x = self._heads[-1]
+        for level in range(len(self._heads) - 1, -1, -1):
+            while x.right.key < key:
+                x = x.right
+            preds[level] = x
+            if level > 0:
+                x = x.down
+        return preds
+
+    def _shrink(self) -> None:
+        """Drop empty levels above the first (keeping one empty top)."""
+        while len(self._heads) > 1 and self._heads[-1].right is self._tail and self._heads[-2].right is self._tail:
+            self._heads.pop()
+
+    def peek_head(self) -> Optional[Tuple[Any, Any]]:
+        first = self._heads[0].right
+        if first is self._tail:
+            return None
+        return first.key, first.value
+
+    def pop_head(self) -> Tuple[Any, Any]:
+        first = self._heads[0].right
+        if first is self._tail:
+            raise KeyError("pop_head from empty skip list")
+        key, value = first.key, first.value
+        # The head tower is head.right at every level it reaches; its left
+        # gaps are all empty, so unlinking cannot oversize anything.
+        for head in self._heads:
+            if head.right.key == key:
+                head.right = head.right.right
+            else:
+                break
+        self._len -= 1
+        self._shrink()
+        return key, value
+
+    def find(self, key: Any) -> Any:
+        x = self._heads[-1]
+        for level in range(len(self._heads) - 1, -1, -1):
+            while x.right.key < key:
+                x = x.right
+            if x.right.key == key and level == 0:
+                return x.right.value
+            if level > 0:
+                x = x.down
+        raise KeyError(key)
+
+    def __len__(self) -> int:
+        return self._len
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        node = self._heads[0].right
+        while node is not self._tail:
+            yield node.key, node.value
+            node = node.right
+
+    # -- verification (used heavily by tests) --------------------------------
+
+    @property
+    def height(self) -> int:
+        """Number of levels, including the empty top."""
+        return len(self._heads)
+
+    def check_invariants(self) -> None:
+        """Assert structural soundness; raises ``AssertionError`` on breakage.
+
+        Checks: ascending unique keys at level 0; every upper-level node has
+        a down pointer to a same-keyed node one level below; every gap at
+        levels >= 1 has at most 3 elements; the recorded length matches.
+        """
+        # Level 0 ordering.
+        keys = [key for key, _ in self.items()]
+        assert len(keys) == self._len, f"len mismatch: {len(keys)} vs {self._len}"
+        for a, b in zip(keys, keys[1:]):
+            assert a < b, f"level 0 not strictly ascending at {a!r} >= {b!r}"
+        # Tower consistency + gap bound per level.
+        for level in range(1, len(self._heads)):
+            node = self._heads[level].right
+            below_keys = self._level_keys(level - 1)
+            prev_key = None
+            while node is not self._tail:
+                assert node.down.key == node.key, f"tower broken at {node.key!r}"
+                node = node.right
+            # Gap bound: walk upper level, counting lower-level keys between.
+            upper_keys = self._level_keys(level)
+            bounds = [None] + upper_keys + [None]
+            idx = 0
+            for i in range(len(bounds) - 1):
+                lo, hi = bounds[i], bounds[i + 1]
+                count = 0
+                while idx < len(below_keys) and (hi is None or below_keys[idx] < hi):
+                    if below_keys[idx] != lo:
+                        count += 1
+                    idx += 1
+                assert count <= 3, f"gap of {count} at level {level} below ({lo!r}, {hi!r})"
+        assert self._heads[-1].right is self._tail, "top level is not empty"
+
+    def _level_keys(self, level: int) -> List[Any]:
+        node = self._heads[level].right
+        keys = []
+        while node is not self._tail:
+            keys.append(node.key)
+            node = node.right
+        return keys

@@ -1,0 +1,7 @@
+"""Workflow model (paper §II): DAGs of Map-Reduce jobs with deadlines."""
+
+from repro.workflow.model import WJob, Workflow, WorkflowValidationError
+from repro.workflow.builder import WorkflowBuilder
+from repro.workflow import dag
+
+__all__ = ["WJob", "Workflow", "WorkflowValidationError", "WorkflowBuilder", "dag"]

@@ -1,0 +1,117 @@
+"""Fluent construction of workflows.
+
+:class:`WorkflowBuilder` is the programmatic path to a
+:class:`~repro.workflow.model.Workflow`; the XML path (what a WOHA user would
+actually write) lives in :mod:`repro.workflow.xmlconfig` and delegates here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.workflow.model import WJob, Workflow, WorkflowValidationError
+
+__all__ = ["WorkflowBuilder"]
+
+
+class WorkflowBuilder:
+    """Incrementally assemble a :class:`Workflow`.
+
+    Example::
+
+        wf = (
+            WorkflowBuilder("etl")
+            .job("extract", maps=20, reduces=4, map_s=30, reduce_s=120)
+            .job("clean", maps=10, reduces=2, map_s=20, reduce_s=60, after=["extract"])
+            .job("load", maps=4, reduces=1, map_s=15, reduce_s=90, after=["clean"])
+            .deadline(3600)
+            .build()
+        )
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._jobs: List[WJob] = []
+        self._names: set = set()
+        self._submit_time = 0.0
+        self._deadline: Optional[float] = None
+
+    def job(
+        self,
+        name: str,
+        maps: int,
+        reduces: int,
+        map_s: float,
+        reduce_s: float = 0.0,
+        after: Iterable[str] = (),
+        inputs: Sequence[str] = (),
+        outputs: Sequence[str] = (),
+        jar_path: Optional[str] = None,
+        main_class: Optional[str] = None,
+    ) -> "WorkflowBuilder":
+        """Add a wjob.  ``after`` names jobs already added to this builder."""
+        after = tuple(after)
+        for pre in after:
+            if pre not in self._names:
+                raise WorkflowValidationError(
+                    f"{self._name}: job {name!r} placed after unknown job {pre!r} "
+                    "(add prerequisites before dependents)"
+                )
+        wjob = WJob(
+            name=name,
+            num_maps=maps,
+            num_reduces=reduces,
+            map_duration=map_s,
+            reduce_duration=reduce_s,
+            prerequisites=frozenset(after),
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+            jar_path=jar_path,
+            main_class=main_class,
+        )
+        if name in self._names:
+            raise WorkflowValidationError(f"{self._name}: duplicate job name {name!r}")
+        self._jobs.append(wjob)
+        self._names.add(name)
+        return self
+
+    def chain(
+        self,
+        names: Sequence[str],
+        maps: int,
+        reduces: int,
+        map_s: float,
+        reduce_s: float = 0.0,
+        after: Iterable[str] = (),
+    ) -> "WorkflowBuilder":
+        """Add a linear chain of identically-sized jobs.
+
+        The first job in the chain depends on ``after``; each subsequent job
+        depends on its predecessor in the chain.
+        """
+        previous = tuple(after)
+        for name in names:
+            self.job(name, maps=maps, reduces=reduces, map_s=map_s, reduce_s=reduce_s, after=previous)
+            previous = (name,)
+        return self
+
+    def submit_at(self, time: float) -> "WorkflowBuilder":
+        """Set the workflow submission time ``S_i``."""
+        self._submit_time = float(time)
+        return self
+
+    def deadline(self, absolute: Optional[float] = None, relative: Optional[float] = None) -> "WorkflowBuilder":
+        """Set the deadline ``D_i``, absolute or relative to the submit time."""
+        if (absolute is None) == (relative is None):
+            raise WorkflowValidationError("specify exactly one of absolute / relative deadline")
+        self._deadline = absolute if absolute is not None else self._submit_time + relative
+        return self
+
+    def build(self) -> Workflow:
+        """Validate and freeze the workflow."""
+        return Workflow(
+            self._name,
+            self._jobs,
+            submit_time=self._submit_time,
+            deadline=self._deadline,
+        )

@@ -1,0 +1,32 @@
+"""Workload generation: the paper's synthetic and Yahoo!-like inputs."""
+
+from repro.workloads.distributions import TraceDistributions, JobShape, cdf_points
+from repro.workloads.topologies import (
+    FIG11_DURATION_SCALE,
+    fig7_topology,
+    fig11_workflows,
+    chain_workflow,
+    fanout_workflow,
+    diamond_workflow,
+    random_dag_workflow,
+)
+from repro.workloads.yahoo import YahooTraceConfig, generate_yahoo_workflows, generate_job_trace
+from repro.workloads.deadlines import assign_deadlines, stretch_deadline
+
+__all__ = [
+    "TraceDistributions",
+    "JobShape",
+    "cdf_points",
+    "fig7_topology",
+    "fig11_workflows",
+    "FIG11_DURATION_SCALE",
+    "chain_workflow",
+    "fanout_workflow",
+    "diamond_workflow",
+    "random_dag_workflow",
+    "YahooTraceConfig",
+    "generate_yahoo_workflows",
+    "generate_job_trace",
+    "assign_deadlines",
+    "stretch_deadline",
+]

@@ -1,0 +1,119 @@
+"""Unit tests for JobInProgress / SubmitterJob lifecycle."""
+
+import pytest
+
+from repro.cluster.job import JobInProgress, JobState, SubmitterJob
+from repro.cluster.tasks import TaskKind
+from repro.workflow.model import WJob
+
+
+def make_jip(maps=3, reduces=2, map_s=10.0, reduce_s=20.0, sampler=None):
+    wjob = WJob(name="j", num_maps=maps, num_reduces=reduces, map_duration=map_s, reduce_duration=reduce_s)
+    return JobInProgress("job_1", wjob, "wf", submit_time=0.0, duration_sampler=sampler)
+
+
+class TestMapPhase:
+    def test_obtain_maps_until_exhausted(self):
+        jip = make_jip(maps=3)
+        tasks = [jip.obtain_map() for _ in range(3)]
+        assert all(t is not None and t.kind is TaskKind.MAP for t in tasks)
+        assert [t.index for t in tasks] == [0, 1, 2]
+        assert jip.obtain_map() is None
+        assert jip.runnable_maps == 0
+        assert jip.running_maps == 3
+
+    def test_reduces_gated_until_maps_finish(self):
+        jip = make_jip(maps=2, reduces=1)
+        t0, t1 = jip.obtain_map(), jip.obtain_map()
+        assert jip.obtain_reduce() is None  # not even schedulable yet
+        jip.on_task_complete(t0, now=10.0)
+        assert jip.obtain_reduce() is None  # one map still running
+        maps_done, job_done = jip.on_task_complete(t1, now=10.0)
+        assert maps_done and not job_done
+        assert jip.reduces_ready
+        assert jip.obtain_reduce() is not None
+
+    def test_task_durations_default_to_estimates(self):
+        jip = make_jip(map_s=7.5, reduce_s=31.0)
+        assert jip.obtain_map().duration == 7.5
+
+    def test_duration_sampler_override(self):
+        jip = make_jip(sampler=lambda kind, idx: 1.0 + idx)
+        assert jip.obtain_map().duration == 1.0
+        assert jip.obtain_map().duration == 2.0
+
+
+class TestCompletion:
+    def test_full_lifecycle(self):
+        jip = make_jip(maps=1, reduces=1)
+        m = jip.obtain_map()
+        maps_done, job_done = jip.on_task_complete(m, now=10.0)
+        assert maps_done and not job_done
+        r = jip.obtain_reduce()
+        maps_done, job_done = jip.on_task_complete(r, now=30.0)
+        assert not maps_done and job_done
+        assert jip.state is JobState.SUCCEEDED
+        assert jip.finish_time == 30.0
+        assert jip.completed
+
+    def test_map_only_job_completes_after_maps(self):
+        jip = make_jip(maps=2, reduces=0, reduce_s=0.0)
+        t0, t1 = jip.obtain_map(), jip.obtain_map()
+        jip.on_task_complete(t0, now=5.0)
+        _done, job_done = jip.on_task_complete(t1, now=6.0)
+        assert job_done
+        assert jip.runnable_reduces == 0
+
+    def test_reduce_only_job_ready_immediately(self):
+        wjob = WJob(name="r", num_maps=0, num_reduces=2, map_duration=0.0, reduce_duration=5.0)
+        jip = JobInProgress("job_r", wjob, None, 0.0)
+        assert jip.reduces_ready
+        assert jip.obtain_reduce() is not None
+
+    def test_has_runnable_by_kind(self):
+        jip = make_jip(maps=1, reduces=1)
+        assert jip.has_runnable(TaskKind.MAP)
+        assert not jip.has_runnable(TaskKind.REDUCE)
+        m = jip.obtain_map()
+        assert not jip.has_runnable(TaskKind.MAP)
+        jip.on_task_complete(m, now=1.0)
+        assert jip.has_runnable(TaskKind.REDUCE)
+
+
+class TestSubmitterJob:
+    def test_tasks_gated_by_unlock(self):
+        sub = SubmitterJob("job_s", "wf", ["a", "b", "c"], submit_time=0.0, task_duration=1.0)
+        assert sub.obtain_map() is None
+        sub.unlock("b")
+        task = sub.obtain_map()
+        assert task.kind is TaskKind.SUBMIT
+        assert task.payload == "b"
+        assert sub.obtain_map() is None
+
+    def test_unlock_unknown_rejected(self):
+        sub = SubmitterJob("job_s", "wf", ["a"], submit_time=0.0, task_duration=1.0)
+        with pytest.raises(KeyError):
+            sub.unlock("ghost")
+
+    def test_double_unlock_rejected(self):
+        sub = SubmitterJob("job_s", "wf", ["a"], submit_time=0.0, task_duration=1.0)
+        sub.unlock("a")
+        with pytest.raises(ValueError):
+            sub.unlock("a")
+
+    def test_completes_after_all_submit_tasks(self):
+        sub = SubmitterJob("job_s", "wf", ["a", "b"], submit_time=0.0, task_duration=1.0)
+        sub.unlock("a")
+        sub.unlock("b")
+        t0 = sub.obtain_map()
+        t1 = sub.obtain_map()
+        _x, done = sub.on_task_complete(t0, now=1.0)
+        assert not done
+        _x, done = sub.on_task_complete(t1, now=2.0)
+        assert done
+        assert sub.completed
+
+    def test_no_reduces_ever(self):
+        sub = SubmitterJob("job_s", "wf", ["a"], submit_time=0.0, task_duration=1.0)
+        assert sub.runnable_reduces == 0
+        assert not sub.has_runnable(TaskKind.REDUCE)

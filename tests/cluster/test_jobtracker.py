@@ -1,0 +1,177 @@
+"""Unit tests for the JobTracker master."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.jobtracker import JobTracker
+from repro.cluster.tasks import TaskKind
+from repro.events import Simulator
+from repro.schedulers.fifo import FifoScheduler
+from repro.workflow.builder import WorkflowBuilder
+
+
+def make_tracker(num_nodes=2, scheduler=None, **cfg_kwargs):
+    cfg_kwargs.setdefault("heartbeat_interval", float("inf"))
+    config = ClusterConfig(num_nodes=num_nodes, map_slots_per_node=2, reduce_slots_per_node=1, **cfg_kwargs)
+    sim = Simulator()
+    jt = JobTracker(sim, config, scheduler or FifoScheduler())
+    return sim, jt
+
+
+def two_job_workflow(name="wf"):
+    return (
+        WorkflowBuilder(name)
+        .job("a", maps=2, reduces=1, map_s=10, reduce_s=20)
+        .job("b", maps=1, reduces=1, map_s=5, reduce_s=10, after=["a"])
+        .build()
+    )
+
+
+class TestSubmission:
+    def test_workflow_ids_unique_and_sequential(self):
+        sim, jt = make_tracker()
+        w1 = jt.submit_workflow(two_job_workflow("w1"), use_submitter=False)
+        w2 = jt.submit_workflow(two_job_workflow("w2"), use_submitter=False)
+        assert w1.wf_id != w2.wf_id
+
+    def test_duplicate_workflow_name_rejected(self):
+        sim, jt = make_tracker()
+        jt.submit_workflow(two_job_workflow(), use_submitter=False)
+        with pytest.raises(ValueError, match="already submitted"):
+            jt.submit_workflow(two_job_workflow(), use_submitter=False)
+
+    def test_submitter_mode_creates_submitter_with_unlocked_roots(self):
+        sim, jt = make_tracker()
+        wip = jt.submit_workflow(two_job_workflow(), use_submitter=True)
+        assert wip.submitter is not None
+        # Only root "a" was unlocked; the eager round launched it already.
+        assert wip.submitter.maps_scheduled == 1
+        assert wip.submitter.runnable_maps == 0
+
+    def test_wjob_with_pending_prereqs_rejected(self):
+        sim, jt = make_tracker()
+        jt.submit_workflow(two_job_workflow(), use_submitter=False)
+        with pytest.raises(ValueError, match="unfinished prerequisites"):
+            jt.submit_wjob("wf", "b")
+
+    def test_double_wjob_submission_rejected(self):
+        sim, jt = make_tracker()
+        jt.submit_workflow(two_job_workflow(), use_submitter=False)
+        jt.submit_wjob("wf", "a")
+        with pytest.raises(ValueError, match="twice"):
+            jt.submit_wjob("wf", "a")
+
+    def test_ready_wjobs_in_topo_order(self):
+        sim, jt = make_tracker()
+        wip = jt.submit_workflow(two_job_workflow(), use_submitter=False)
+        assert wip.ready_wjobs() == ["a"]
+        jt.submit_wjob("wf", "a")
+        assert wip.ready_wjobs() == []
+
+
+class TestEagerScheduling:
+    def test_submission_triggers_launch(self):
+        sim, jt = make_tracker()
+        jt.submit_workflow(two_job_workflow(), use_submitter=False)
+        jt.submit_wjob("wf", "a")
+        # Both map tasks of "a" should be running already (eager round).
+        jip = jt.workflows["wf"].jobs["a"]
+        assert jip.running_maps == 2
+
+    def test_completion_frees_slot_and_reassigns(self):
+        sim, jt = make_tracker(num_nodes=1)  # 2 map slots, 1 reduce slot
+        wf = (
+            WorkflowBuilder("wf")
+            .job("a", maps=5, reduces=0, map_s=10)
+            .build()
+        )
+        jt.submit_workflow(wf, use_submitter=False)
+        jt.submit_wjob("wf", "a")
+        jip = jt.workflows["wf"].jobs["a"]
+        assert jip.running_maps == 2
+        sim.run(until=10.0)
+        assert jip.maps_finished == 2
+        assert jip.running_maps == 2  # next wave launched at t=10
+        sim.run()
+        assert jip.completed
+        assert jt.workflows["wf"].completion_time == 30.0  # 5 maps / 2 slots = 3 waves
+
+    def test_rho_counts_only_wjob_tasks(self):
+        sim, jt = make_tracker()
+        jt.submit_workflow(two_job_workflow(), use_submitter=True)
+        sim.run()
+        wip = jt.workflows["wf"]
+        assert wip.done
+        # rho == m+r of both jobs, submitter tasks excluded
+        assert wip.scheduled_tasks == wip.definition.total_tasks
+
+    def test_free_slot_accounting_balances(self):
+        sim, jt = make_tracker()
+        jt.submit_workflow(two_job_workflow(), use_submitter=False)
+        jt.submit_wjob("wf", "a")
+        sim.run()
+        assert jt.free_slots(TaskKind.MAP) == jt.config.total_map_slots
+        assert jt.free_slots(TaskKind.REDUCE) == jt.config.total_reduce_slots
+
+
+class TestListeners:
+    def test_listener_hooks_fire_in_order(self):
+        events = []
+
+        class Probe:
+            def on_workflow_submitted(self, wip, now):
+                events.append(("wf_submit", wip.name))
+
+            def on_wjob_submitted(self, jip, now):
+                events.append(("job_submit", jip.name))
+
+            def on_job_completed(self, jip, now):
+                events.append(("job_done", jip.name))
+
+            def on_workflow_completed(self, wip, now):
+                events.append(("wf_done", wip.name))
+
+        sim, jt = make_tracker()
+        jt.add_listener(Probe())
+        jt.submit_workflow(two_job_workflow(), use_submitter=False)
+        jt.submit_wjob("wf", "a")
+        sim.run()
+        # "b" never submitted (no Oozie in this test), so workflow incomplete.
+        assert ("wf_submit", "wf") in events
+        assert ("job_submit", "a") in events
+        assert ("job_done", "a") in events
+        assert ("wf_done", "wf") not in events
+
+    def test_workflow_completion_event(self):
+        done = []
+
+        class Probe:
+            def on_workflow_completed(self, wip, now):
+                done.append((wip.name, now))
+
+        sim, jt = make_tracker()
+        jt.add_listener(Probe())
+        jt.submit_workflow(two_job_workflow(), use_submitter=True)
+        sim.run()
+        assert len(done) == 1
+        assert done[0][0] == "wf"
+
+
+class TestHeartbeatMode:
+    def test_periodic_heartbeats_drive_assignment(self):
+        config = ClusterConfig(
+            num_nodes=1,
+            map_slots_per_node=2,
+            reduce_slots_per_node=1,
+            heartbeat_interval=3.0,
+            eager_heartbeats=False,
+        )
+        sim = Simulator()
+        jt = JobTracker(sim, config, FifoScheduler())
+        jt.submit_workflow(two_job_workflow(), use_submitter=False)
+        jt.submit_wjob("wf", "a")
+        jip = jt.workflows["wf"].jobs["a"]
+        assert jip.running_maps == 0  # nothing runs before the first heartbeat
+        jt.start_heartbeats()
+        sim.run(until=4.0)
+        assert jip.running_maps == 2

@@ -1,0 +1,158 @@
+"""Tests for speculative execution (straggler backups)."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import ClusterSimulation
+from repro.cluster.speculation import SpeculationManager
+from repro.cluster.tasks import TaskKind
+from repro.noise import LognormalNoise
+from repro.schedulers.fifo import FifoScheduler
+from repro.workflow.builder import WorkflowBuilder
+
+
+def straggler_sampler(slow_index=0, slow_factor=10.0, base=10.0):
+    """All tasks take ``base`` seconds except one pathological straggler."""
+
+    def factory(wjob):
+        def sampler(kind, index):
+            if kind is TaskKind.MAP and index == slow_index:
+                return base * slow_factor
+            return base
+
+        return sampler
+
+    return factory
+
+
+def build_sim(duration_sampler_factory=None, nodes=2, **spec_kwargs):
+    config = ClusterConfig(
+        num_nodes=nodes, map_slots_per_node=2, reduce_slots_per_node=1, heartbeat_interval=float("inf")
+    )
+    sim = ClusterSimulation(
+        config, FifoScheduler(), submission="oozie", duration_sampler_factory=duration_sampler_factory
+    )
+    spec_kwargs.setdefault("slow_factor", 1.5)
+    spec_kwargs.setdefault("min_runtime", 5.0)
+    spec_kwargs.setdefault("check_interval", 5.0)
+    manager = SpeculationManager(sim.sim, sim.jobtracker, **spec_kwargs)
+    return sim, manager
+
+
+def wide(maps=4, reduces=0):
+    return WorkflowBuilder("w").job("a", maps=maps, reduces=reduces, map_s=10, reduce_s=20).build()
+
+
+class TestBackupLifecycle:
+    def test_straggler_gets_backed_up_and_backup_wins(self):
+        sim, manager = build_sim(straggler_sampler(slow_index=0, slow_factor=10.0))
+        sim.add_workflow(wide(maps=4))
+        result = sim.run()
+        assert manager.backups_launched == 1
+        assert manager.backups_won == 1
+        # Without speculation the straggler runs 100s; the backup launches
+        # once slots free (~t=20) and finishes ~t=30.
+        assert result.stats["w"].completion_time < 50.0
+
+    def test_no_speculation_without_stragglers(self):
+        sim, manager = build_sim()
+        sim.add_workflow(wide(maps=8, reduces=2))
+        result = sim.run()
+        assert manager.backups_launched == 0
+        assert result.metrics.tasks_lost == 0
+
+    def test_original_win_kills_backup(self):
+        # Straggler only 1.7x estimate: backup launches at ~15s (policy
+        # threshold) with a 10s nominal duration finishing ~25s; original
+        # finishes at 17s and must win.
+        sim, manager = build_sim(straggler_sampler(slow_index=0, slow_factor=1.7))
+        sim.add_workflow(wide(maps=4))
+        result = sim.run()
+        assert manager.backups_launched == 1
+        assert manager.backups_won == 0
+        assert result.metrics.tasks_lost == 1  # the killed backup attempt
+
+    def test_task_accounting_exact(self):
+        sim, manager = build_sim(straggler_sampler(slow_factor=10.0))
+        wf = wide(maps=6, reduces=2)
+        sim.add_workflow(wf)
+        result = sim.run()
+        jip = sim.jobtracker.workflows["w"].jobs["a"]
+        assert jip.maps_finished == 6
+        assert jip.reduces_finished == 2
+        assert jip.running_maps == 0 and jip.running_reduces == 0
+        assert result.metrics.tasks_completed == wf.total_tasks
+
+    def test_slots_balanced_after_run(self):
+        sim, manager = build_sim(straggler_sampler(slow_factor=10.0))
+        sim.add_workflow(wide(maps=6, reduces=2))
+        sim.run()
+        jt = sim.jobtracker
+        assert jt.free_slots(TaskKind.MAP) == jt.config.total_map_slots
+        assert jt.free_slots(TaskKind.REDUCE) == jt.config.total_reduce_slots
+
+
+class TestPolicy:
+    def test_slow_factor_validation(self):
+        sim, _ = build_sim()
+        with pytest.raises(ValueError):
+            SpeculationManager(sim.sim, sim.jobtracker, slow_factor=1.0)
+
+    def test_min_runtime_suppresses_early_speculation(self):
+        sim, manager = build_sim(
+            straggler_sampler(slow_factor=3.0), min_runtime=10_000.0
+        )
+        sim.add_workflow(wide(maps=4))
+        sim.run()
+        assert manager.backups_launched == 0
+
+    def test_speculation_with_noise_improves_makespan(self):
+        def run(speculate):
+            config = ClusterConfig(
+                num_nodes=4, map_slots_per_node=2, reduce_slots_per_node=1,
+                heartbeat_interval=float("inf"),
+            )
+            sim = ClusterSimulation(
+                config, FifoScheduler(), submission="oozie",
+                duration_sampler_factory=LognormalNoise(0.8, seed=11),
+            )
+            if speculate:
+                SpeculationManager(sim.sim, sim.jobtracker, slow_factor=1.4, min_runtime=5.0,
+                                   check_interval=5.0)
+            wf = (
+                WorkflowBuilder("w")
+                .job("a", maps=12, reduces=2, map_s=10, reduce_s=20)
+                .job("b", maps=6, reduces=2, map_s=10, reduce_s=20, after=["a"])
+                .build()
+            )
+            sim.add_workflow(wf)
+            return sim.run().stats["w"].completion_time
+
+        assert run(True) < run(False)
+
+    def test_rho_not_inflated_by_backups(self):
+        sim, manager = build_sim(straggler_sampler(slow_factor=10.0))
+        wf = wide(maps=6, reduces=2)
+        sim.add_workflow(wf)
+        sim.run()
+        wip = sim.jobtracker.workflows["w"]
+        assert wip.scheduled_tasks == wf.total_tasks
+
+
+class TestFailureInterplay:
+    def test_tracker_loss_with_live_backup_does_not_requeue(self):
+        sim, manager = build_sim(straggler_sampler(slow_factor=10.0), nodes=2)
+        sim.add_workflow(wide(maps=4))
+        # The backup launches at the t=15 tick with a 10 s nominal duration;
+        # probe while both attempts are alive.
+        sim.run(until=20.0)
+        straggler_attempts = [
+            attempts for attempts in manager._attempts.values() if len(attempts) == 2
+        ]
+        assert straggler_attempts, "backup should be running by t=20"
+        original = next(t for t in straggler_attempts[0] if not t.speculative)
+        sim.jobtracker.kill_tracker(original.tracker_id)
+        result = sim.run()
+        jip = sim.jobtracker.workflows["w"].jobs["a"]
+        assert jip.maps_finished == 4  # index covered by the backup, no rerun
+        assert sim.jobtracker.workflows["w"].done

@@ -1,0 +1,46 @@
+"""Unit tests for TaskTracker slot accounting."""
+
+import pytest
+
+from repro.cluster.job import JobInProgress
+from repro.cluster.tasks import TaskKind
+from repro.cluster.tasktracker import TaskTracker
+from repro.workflow.model import WJob
+
+
+def make_task(kind=TaskKind.MAP):
+    wjob = WJob(name="j", num_maps=5, num_reduces=5, map_duration=1.0, reduce_duration=1.0)
+    jip = JobInProgress("job", wjob, None, 0.0)
+    return jip.obtain_map() if kind is TaskKind.MAP else None
+
+
+class TestSlots:
+    def test_initial_free_slots(self):
+        tt = TaskTracker(0, map_slots=2, reduce_slots=1)
+        assert tt.free_map_slots == 2
+        assert tt.free_reduce_slots == 1
+        assert tt.free_slots(TaskKind.MAP) == 2
+        assert tt.free_slots(TaskKind.SUBMIT) == 2  # submit uses map slots
+        assert tt.free_slots(TaskKind.REDUCE) == 1
+
+    def test_occupy_and_release(self):
+        tt = TaskTracker(0, map_slots=1, reduce_slots=1)
+        task = make_task()
+        tt.occupy(task)
+        assert tt.free_map_slots == 0
+        assert task.tracker_id == 0
+        tt.release(task)
+        assert tt.free_map_slots == 1
+        assert task not in tt.running
+
+    def test_oversubscription_rejected(self):
+        tt = TaskTracker(0, map_slots=1, reduce_slots=0)
+        tt.occupy(make_task())
+        with pytest.raises(RuntimeError, match="oversubscribed"):
+            tt.occupy(make_task())
+
+    def test_dead_tracker_rejects_tasks(self):
+        tt = TaskTracker(0, map_slots=1, reduce_slots=0)
+        tt.alive = False
+        with pytest.raises(RuntimeError, match="dead"):
+            tt.occupy(make_task())

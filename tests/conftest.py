@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.workflow.builder import WorkflowBuilder
+from repro.workflow.model import Workflow
+
+
+@pytest.fixture
+def small_workflow() -> Workflow:
+    """A 4-job diamond-with-tail used across scheduler tests.
+
+    a (4m/2r) -> {b (2m/1r), c (3m/1r)} -> d (1m/1r); 15 tasks total.
+    """
+    return (
+        WorkflowBuilder("wf")
+        .job("a", maps=4, reduces=2, map_s=10, reduce_s=20)
+        .job("b", maps=2, reduces=1, map_s=5, reduce_s=10, after=["a"])
+        .job("c", maps=3, reduces=1, map_s=8, reduce_s=12, after=["a"])
+        .job("d", maps=1, reduces=1, map_s=4, reduce_s=6, after=["b", "c"])
+        .deadline(relative=300)
+        .build()
+    )
+
+
+@pytest.fixture
+def chain3() -> Workflow:
+    """Three jobs in a strict chain."""
+    return (
+        WorkflowBuilder("chain")
+        .job("j0", maps=2, reduces=1, map_s=10, reduce_s=10)
+        .job("j1", maps=2, reduces=1, map_s=10, reduce_s=10, after=["j0"])
+        .job("j2", maps=2, reduces=1, map_s=10, reduce_s=10, after=["j1"])
+        .build()
+    )
+
+
+@pytest.fixture
+def tiny_cluster() -> ClusterConfig:
+    """2 nodes x (2 map + 1 reduce) with event-driven scheduling."""
+    return ClusterConfig(
+        num_nodes=2,
+        map_slots_per_node=2,
+        reduce_slots_per_node=1,
+        heartbeat_interval=float("inf"),
+    )
+
+
+@pytest.fixture
+def heartbeat_cluster() -> ClusterConfig:
+    """Same size but pure periodic-heartbeat scheduling (no eager rounds)."""
+    return ClusterConfig(
+        num_nodes=2,
+        map_slots_per_node=2,
+        reduce_slots_per_node=1,
+        heartbeat_interval=3.0,
+        eager_heartbeats=False,
+    )

@@ -1,0 +1,69 @@
+"""Tests for the split-pool cap search ablation."""
+
+import pytest
+
+from repro.core.capsearch import capped_plan_split, find_min_cap_split
+from repro.core.plangen import generate_requirements, generate_requirements_split
+from repro.workflow.builder import WorkflowBuilder
+
+
+def reduce_heavy():
+    return (
+        WorkflowBuilder("w")
+        .job("a", maps=8, reduces=16, map_s=10, reduce_s=60)
+        .build()
+    )
+
+
+class TestFindMinCapSplit:
+    def test_caps_respect_pool_mix(self):
+        result = find_min_cap_split(reduce_heavy(), max_slots=96, map_fraction=2 / 3,
+                                    relative_deadline=10_000.0)
+        assert result.feasible
+        # Found caps follow the 2:1 ratio of the modelled cluster.
+        assert result.map_cap >= result.reduce_cap
+
+    def test_infeasible_flagged(self):
+        result = find_min_cap_split(reduce_heavy(), max_slots=96, relative_deadline=1.0)
+        assert not result.feasible
+
+    def test_no_deadline_full_size(self):
+        w = WorkflowBuilder("w").job("a", maps=4, reduces=2, map_s=5, reduce_s=5).build()
+        result = find_min_cap_split(w, max_slots=30, map_fraction=2 / 3)
+        assert result.feasible
+        assert result.map_cap == 20 and result.reduce_cap == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_min_cap_split(reduce_heavy(), max_slots=1)
+        with pytest.raises(ValueError):
+            find_min_cap_split(reduce_heavy(), max_slots=10, map_fraction=1.5)
+
+
+class TestPredictionFidelity:
+    def test_split_model_not_more_optimistic_than_reality(self):
+        """The pooled plan underestimates reduce-bound makespans; the
+        split plan's prediction equals the split simulation by
+        construction and is never below the pooled one."""
+        w = reduce_heavy()
+        pooled = generate_requirements(w, 96)
+        split = generate_requirements_split(w, 64, 32)
+        assert split.makespan >= pooled.makespan
+        # reduce phase of 16 reduces on 32 slots: one wave; on a pooled 96
+        # it's also one wave — pick numbers where they differ:
+        w2 = WorkflowBuilder("w2").job("a", maps=8, reduces=64, map_s=10, reduce_s=60).build()
+        pooled2 = generate_requirements(w2, 96)
+        split2 = generate_requirements_split(w2, 64, 32)
+        assert split2.makespan > pooled2.makespan
+
+    def test_capped_plan_split_meets_deadline_in_model(self):
+        w = (
+            WorkflowBuilder("w")
+            .job("a", maps=30, reduces=10, map_s=10, reduce_s=30)
+            .deadline(relative=400.0)
+            .build()
+        )
+        plan = capped_plan_split(w, max_slots=96, map_fraction=2 / 3)
+        assert plan.feasible
+        assert plan.makespan <= 400.0
+        assert plan.entries[-1].cum_req == w.total_tasks

@@ -1,0 +1,191 @@
+"""Unit + property tests for Algorithm 1 (plan generation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plangen import (
+    generate_requirements,
+    generate_requirements_split,
+    simulate_makespan,
+)
+from repro.workflow.builder import WorkflowBuilder
+from repro.workflow.model import WJob, Workflow
+
+
+def single_job_workflow(maps=4, reduces=2, map_s=10.0, reduce_s=20.0):
+    return WorkflowBuilder("w").job("a", maps=maps, reduces=reduces, map_s=map_s, reduce_s=reduce_s).build()
+
+
+class TestSingleJob:
+    def test_enough_slots_two_batches(self):
+        w = single_job_workflow(maps=4, reduces=2)
+        plan = generate_requirements(w, cap=8)
+        # maps at t=0 (batch 4), reduces at t=10 (batch 2); makespan 30.
+        assert plan.makespan == 30.0
+        assert [(e.ttd, e.cum_req) for e in plan.entries] == [(30.0, 4), (20.0, 6)]
+
+    def test_map_waves_when_slots_scarce(self):
+        w = single_job_workflow(maps=4, reduces=2)
+        plan = generate_requirements(w, cap=2)
+        # waves: 2 maps @0, 2 maps @10, 2 reduces @20 -> makespan 40
+        assert plan.makespan == 40.0
+        assert [(e.ttd, e.cum_req) for e in plan.entries] == [(40.0, 2), (30.0, 4), (20.0, 6)]
+
+    def test_single_slot(self):
+        w = single_job_workflow(maps=2, reduces=1)
+        plan = generate_requirements(w, cap=1)
+        assert plan.makespan == 40.0  # 10+10+20
+        assert plan.entries[-1].cum_req == 3
+
+    def test_map_only_job(self):
+        w = WorkflowBuilder("w").job("m", maps=3, reduces=0, map_s=5).build()
+        plan = generate_requirements(w, cap=3)
+        assert plan.makespan == 5.0
+        assert plan.entries[-1].cum_req == 3
+
+    def test_reduce_only_job(self):
+        w = Workflow("w", [WJob(name="r", num_maps=0, num_reduces=2, map_duration=0.0, reduce_duration=7.0)])
+        plan = generate_requirements(w, cap=2)
+        assert plan.makespan == 7.0
+        assert plan.entries[-1].cum_req == 2
+
+
+class TestDependencies:
+    def test_chain_serializes(self, chain3):
+        plan = generate_requirements(chain3, cap=10)
+        # per job: maps 10s then reduce 10s = 20s; chain of 3 = 60s
+        assert plan.makespan == 60.0
+
+    def test_parallel_branches_overlap(self):
+        w = (
+            WorkflowBuilder("w")
+            .job("a", maps=2, reduces=0, map_s=10)
+            .job("b", maps=2, reduces=0, map_s=10)
+            .build()
+        )
+        assert simulate_makespan(w, cap=4) == 10.0
+        assert simulate_makespan(w, cap=2) == 20.0
+
+    def test_diamond_dependencies(self, small_workflow):
+        plan = generate_requirements(small_workflow, cap=100)
+        # a: 10+20; then b (5+10) and c (8+12) in parallel -> max 20; then d 4+6=10
+        assert plan.makespan == 30.0 + 20.0 + 10.0
+
+    def test_dependent_waits_for_reduce_not_map(self):
+        w = (
+            WorkflowBuilder("w")
+            .job("a", maps=1, reduces=1, map_s=10, reduce_s=100)
+            .job("b", maps=1, reduces=0, map_s=1, after=["a"])
+            .build()
+        )
+        assert simulate_makespan(w, cap=10) == 111.0
+
+
+class TestPlanShape:
+    def test_priorities_control_order_under_contention(self):
+        # Two independent jobs, 1 slot: the prioritized one goes first.
+        w = (
+            WorkflowBuilder("w")
+            .job("first", maps=1, reduces=0, map_s=10)
+            .job("second", maps=1, reduces=0, map_s=20)
+            .build()
+        )
+        plan_a = generate_requirements(w, cap=1, job_order=["first", "second"])
+        plan_b = generate_requirements(w, cap=1, job_order=["second", "first"])
+        assert plan_a.makespan == plan_b.makespan == 30.0
+        # first-priority job scheduled at t=0 in both, but the *second* batch
+        # lands at a different time.
+        assert [e.ttd for e in plan_a.entries] != [e.ttd for e in plan_b.entries]
+
+    def test_job_order_must_cover_all_jobs(self, small_workflow):
+        with pytest.raises(ValueError, match="missing jobs"):
+            generate_requirements(small_workflow, cap=4, job_order=["a", "b"])
+
+    def test_cap_below_one_rejected(self, small_workflow):
+        with pytest.raises(ValueError):
+            generate_requirements(small_workflow, cap=0)
+
+    def test_feasible_flag_recorded(self, small_workflow):
+        plan = generate_requirements(small_workflow, cap=4, feasible=False)
+        assert plan.feasible is False
+
+
+class TestSplitPool:
+    def test_split_pool_respects_reduce_cap(self):
+        w = single_job_workflow(maps=2, reduces=4, map_s=10, reduce_s=10)
+        pooled = generate_requirements(w, cap=6)
+        split = generate_requirements_split(w, map_cap=2, reduce_cap=1)
+        # pooled: maps@0, 4 reduces together @10 -> 20
+        assert pooled.makespan == 20.0
+        # split: maps@0 (2 slots), reduces serialized on 1 slot -> 10 + 40
+        assert split.makespan == 50.0
+
+    def test_split_requires_positive_reduce_cap(self):
+        w = single_job_workflow()
+        with pytest.raises(ValueError):
+            generate_requirements_split(w, map_cap=2, reduce_cap=0)
+
+
+@st.composite
+def random_workflows(draw):
+    n = draw(st.integers(1, 8))
+    builder = WorkflowBuilder("rw")
+    names = []
+    for k in range(n):
+        parents = []
+        if names:
+            for cand in names:
+                if draw(st.booleans()) and len(parents) < 2:
+                    parents.append(cand)
+        maps = draw(st.integers(0, 6))
+        reduces = draw(st.integers(0, 4)) if maps else draw(st.integers(1, 4))
+        builder.job(
+            f"j{k}",
+            maps=maps,
+            reduces=reduces,
+            map_s=draw(st.floats(1.0, 50.0)),
+            reduce_s=draw(st.floats(1.0, 50.0)),
+            after=parents,
+        )
+        names.append(f"j{k}")
+    return builder.build()
+
+
+class TestProperties:
+    @given(random_workflows(), st.integers(1, 12))
+    @settings(max_examples=100, deadline=None)
+    def test_plan_invariants(self, workflow, cap):
+        try:
+            plan = generate_requirements(workflow, cap)
+        except Exception as exc:  # jobs with 0 maps AND 0 reduces are rejected upstream
+            raise AssertionError(f"plan generation failed: {exc}")
+        # Total requirement covers every task exactly once.
+        assert plan.entries[-1].cum_req == workflow.total_tasks
+        # ttd strictly decreasing, cum_req strictly increasing.
+        for a, b in zip(plan.entries, plan.entries[1:]):
+            assert a.ttd > b.ttd and a.cum_req < b.cum_req
+        # First entry fires at simulation start: ttd == makespan.
+        assert plan.entries[0].ttd == pytest.approx(plan.makespan)
+        # Makespan never below the critical-path bound and never above
+        # the fully-serial bound.
+        serial = sum(j.num_maps * j.map_duration + j.num_reduces * j.reduce_duration for j in workflow.jobs)
+        assert plan.makespan <= serial + 1e-6
+
+    @given(random_workflows())
+    @settings(max_examples=60, deadline=None)
+    def test_more_slots_never_hurt_much(self, workflow):
+        """Makespan at the full slot count <= makespan at 1 slot."""
+        assert simulate_makespan(workflow, 16) <= simulate_makespan(workflow, 1) + 1e-9
+
+    @given(random_workflows(), st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_batches_never_exceed_cap(self, workflow, cap):
+        plan = generate_requirements(workflow, cap)
+        increments = []
+        prev = 0
+        for e in plan.entries:
+            increments.append(e.cum_req - prev)
+            prev = e.cum_req
+        # A single instant can schedule at most `cap` tasks.
+        assert all(0 < inc <= cap for inc in increments)

@@ -1,0 +1,83 @@
+"""Unit tests for HLF / LPF / MPF intra-workflow prioritization (§V-C)."""
+
+import pytest
+
+from repro.core.priorities import PRIORITIZERS, hlf_order, lpf_order, mpf_order
+from repro.workflow.builder import WorkflowBuilder
+
+
+@pytest.fixture
+def wf():
+    r"""
+        a ── b ── c          (chain, light)
+        a ── heavy           (one fat job)
+        a ── h1 h2 h3        (a has many dependents)
+    """
+    return (
+        WorkflowBuilder("w")
+        .job("a", maps=1, reduces=1, map_s=10, reduce_s=10)
+        .job("b", maps=1, reduces=1, map_s=10, reduce_s=10, after=["a"])
+        .job("c", maps=1, reduces=1, map_s=10, reduce_s=10, after=["b"])
+        .job("heavy", maps=1, reduces=1, map_s=200, reduce_s=200, after=["a"])
+        .job("h1", maps=1, reduces=1, map_s=1, reduce_s=1, after=["a"])
+        .job("h2", maps=1, reduces=1, map_s=1, reduce_s=1, after=["a"])
+        .job("h3", maps=1, reduces=1, map_s=1, reduce_s=1, after=["a"])
+        .build()
+    )
+
+
+class TestHlf:
+    def test_levels_rank_chain_heads_first(self, wf):
+        order = hlf_order(wf)
+        # a heads the longest chain (level 2); b level 1; everything else level 0.
+        assert order[0] == "a"
+        assert order[1] == "b"
+        assert set(order[2:]) == {"c", "heavy", "h1", "h2", "h3"}
+
+    def test_ties_break_by_definition_order(self, wf):
+        order = hlf_order(wf)
+        level0 = [n for n in order if n in {"c", "heavy", "h1", "h2", "h3"}]
+        assert level0 == ["c", "heavy", "h1", "h2", "h3"]
+
+    def test_all_jobs_present_once(self, wf):
+        order = hlf_order(wf)
+        assert sorted(order) == sorted(wf.job_names())
+
+
+class TestLpf:
+    def test_heavy_path_outranks_long_path(self, wf):
+        order = lpf_order(wf)
+        # a's weight includes heavy (400+), so a first; heavy next (400).
+        assert order[0] == "a"
+        assert order[1] == "heavy"
+        # chain b (20+20+... weight 40+20=... ) before tiny h-jobs
+        assert order.index("b") < order.index("h1")
+
+    def test_lpf_differs_from_hlf_when_weights_invert(self, wf):
+        assert lpf_order(wf) != hlf_order(wf)
+
+
+class TestMpf:
+    def test_most_dependents_first(self, wf):
+        order = mpf_order(wf)
+        assert order[0] == "a"  # 5 dependents
+        assert order[1] == "b"  # 1 dependent; ties beyond
+
+    def test_sinks_last(self, wf):
+        order = mpf_order(wf)
+        sinks = {"c", "heavy", "h1", "h2", "h3"}
+        assert set(order[-5:]) == sinks
+
+
+class TestRegistry:
+    def test_registry_contents(self):
+        assert set(PRIORITIZERS) == {"hlf", "lpf", "mpf"}
+
+    def test_registry_functions_work(self, wf):
+        for fn in PRIORITIZERS.values():
+            order = fn(wf)
+            assert sorted(order) == sorted(wf.job_names())
+
+    def test_deterministic(self, wf):
+        for fn in PRIORITIZERS.values():
+            assert fn(wf) == fn(wf)

@@ -1,0 +1,133 @@
+"""Unit tests for ProgressPlan / ProgressEntry (the F_i structure)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.progress import ProgressEntry, ProgressPlan
+
+
+def make_plan(pairs, job_order=("a", "b"), cap=4, makespan=None, total=None):
+    entries = tuple(ProgressEntry(ttd=t, cum_req=r) for t, r in pairs)
+    if makespan is None:
+        makespan = pairs[0][0] if pairs else 0.0
+    if total is None:
+        total = pairs[-1][1] if pairs else 0
+    return ProgressPlan(
+        entries=entries,
+        job_order=tuple(job_order),
+        resource_cap=cap,
+        makespan=makespan,
+        total_tasks=total,
+    )
+
+
+class TestValidation:
+    def test_entries_must_descend_in_ttd(self):
+        with pytest.raises(ValueError, match="out of order"):
+            make_plan([(10.0, 2), (10.0, 4)])
+
+    def test_entries_must_ascend_in_req(self):
+        with pytest.raises(ValueError, match="out of order"):
+            make_plan([(10.0, 4), (5.0, 2)])
+
+    def test_final_req_must_equal_total(self):
+        with pytest.raises(ValueError, match="workflow has"):
+            make_plan([(10.0, 2)], total=5)
+
+    def test_empty_plan_allowed(self):
+        plan = make_plan([], total=0)
+        assert len(plan) == 0
+        assert plan.requirement_at(5.0) == 0
+
+
+class TestLookups:
+    @pytest.fixture
+    def plan(self):
+        # fires: ttd 60 -> 4 tasks, ttd 30 -> 10, ttd 6 -> 15
+        return make_plan([(60.0, 4), (30.0, 10), (6.0, 15)])
+
+    def test_requirement_at_steps(self, plan):
+        assert plan.requirement_at(100.0) == 0   # before first entry
+        assert plan.requirement_at(60.0) == 4    # entry fires exactly at its ttd
+        assert plan.requirement_at(45.0) == 4
+        assert plan.requirement_at(30.0) == 10
+        assert plan.requirement_at(6.0) == 15
+        assert plan.requirement_at(0.0) == 15
+        assert plan.requirement_at(-10.0) == 15  # past the deadline
+
+    def test_first_index_after(self, plan):
+        D = 100.0
+        assert plan.first_index_after(D, now=0.0) == 0       # ttd=100, nothing fired
+        assert plan.first_index_after(D, now=40.0) == 1      # ttd=60 fired
+        assert plan.first_index_after(D, now=70.0) == 2
+        assert plan.first_index_after(D, now=94.0) == 3
+        assert plan.first_index_after(D, now=1000.0) == 3
+
+    def test_change_time(self, plan):
+        D = 100.0
+        assert plan.change_time(D, 0) == 40.0
+        assert plan.change_time(D, 2) == 94.0
+        assert plan.change_time(D, 3) == float("inf")
+
+    def test_requirement_before(self, plan):
+        assert plan.requirement_before(0) == 0
+        assert plan.requirement_before(1) == 4
+        assert plan.requirement_before(3) == 15
+        assert plan.requirement_before(99) == 15
+
+    def test_change_intervals(self, plan):
+        assert plan.change_intervals() == [30.0, 24.0]
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        plan = make_plan([(60.0, 4), (30.0, 10), (6.0, 15)], job_order=("x", "y", "z"), cap=7)
+        clone = ProgressPlan.from_bytes(plan.to_bytes())
+        assert clone.entries == plan.entries
+        assert clone.job_order == plan.job_order
+        assert clone.resource_cap == plan.resource_cap
+        assert clone.total_tasks == plan.total_tasks
+
+    def test_size_grows_with_entries(self):
+        small = make_plan([(10.0, 1)], total=1)
+        big = make_plan([(float(t), 20 - t) for t in range(19, 0, -1)], total=19)
+        assert big.size_bytes > small.size_bytes
+
+    def test_size_is_kilobyte_scale_for_thousand_entries(self):
+        entries = [(float(2000 - i), i + 1) for i in range(1000)]
+        plan = make_plan(entries, total=1000)
+        # The paper's Fig 13b: plans stay within a few KB even for
+        # 1400-task workflows.  12 bytes/entry + header + job names.
+        assert plan.size_bytes < 16 * 1024
+
+    @given(st.integers(1, 60))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_random_sizes(self, n):
+        entries = [(float(n - i), i + 1) for i in range(n)]
+        plan = make_plan(entries, total=n)
+        assert ProgressPlan.from_bytes(plan.to_bytes()).entries == plan.entries
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.1, 1e5, allow_nan=False), st.integers(1, 5)),
+        min_size=1,
+        max_size=40,
+        unique_by=lambda p: p[0],
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_requirement_at_matches_linear_scan(raw):
+    """Property: the bisect lookup equals a brute-force scan."""
+    raw = sorted(raw, key=lambda p: -p[0])
+    cum = 0
+    pairs = []
+    for ttd, inc in raw:
+        cum += inc
+        pairs.append((ttd, cum))
+    plan = make_plan(pairs, total=cum)
+    probes = [p[0] for p in pairs] + [0.0, 1e9, pairs[len(pairs) // 2][0] + 1e-3]
+    for q in probes:
+        expected = max((r for t, r in pairs if t >= q), default=0)
+        assert plan.requirement_at(q) == expected

@@ -1,0 +1,118 @@
+"""Tests for mid-flight replanning (the future-work extension)."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.client import make_planner
+from repro.core.replanning import ReplanningWohaScheduler, residual_workflow
+from repro.core.scheduler import WohaScheduler
+from repro.noise import LognormalNoise
+from repro.workflow.builder import WorkflowBuilder
+
+
+def build_sim(scheduler, sigma=0.0):
+    config = ClusterConfig(
+        num_nodes=2, map_slots_per_node=2, reduce_slots_per_node=1, heartbeat_interval=float("inf")
+    )
+    factory = LognormalNoise(sigma, seed=5) if sigma else None
+    return ClusterSimulation(
+        config, scheduler, submission="woha", planner=make_planner("lpf"),
+        duration_sampler_factory=factory,
+    )
+
+
+class TestResidualWorkflow:
+    def _wip(self, sim_until=None):
+        wf = (
+            WorkflowBuilder("w")
+            .job("a", maps=4, reduces=2, map_s=10, reduce_s=20)
+            .job("b", maps=2, reduces=1, map_s=10, reduce_s=20, after=["a"])
+            .deadline(relative=500)
+            .build()
+        )
+        sim = build_sim(WohaScheduler())
+        sim.add_workflow(wf)
+        if sim_until is not None:
+            sim.sim.run(until=sim_until)
+        else:
+            sim.run()
+        return sim.jobtracker.workflows["w"]
+
+    def test_fresh_workflow_residual_is_full(self):
+        wip = self._wip(sim_until=0.5)  # submitter ran; "a" just submitted
+        residual = residual_workflow(wip)
+        # a's maps are already handed out by t=0.5 (eager round), so only
+        # its reduces plus all of b remain.
+        assert residual is not None
+        assert set(residual.job_names()) <= {"a", "b"}
+        assert "b" in residual.job_names()
+
+    def test_completed_workflow_has_no_residual(self):
+        wip = self._wip()
+        assert residual_workflow(wip) is None
+
+    def test_edges_dropped_to_inflight_jobs(self):
+        wip = self._wip(sim_until=15.0)  # a's maps done, reduces running/pending
+        residual = residual_workflow(wip)
+        if residual is not None and "b" in residual.job_names() and "a" not in residual.job_names():
+            assert residual.prerequisites("b") == frozenset()
+
+
+class TestReplanningScheduler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplanningWohaScheduler(lag_fraction=0.0)
+
+    def test_no_replans_when_plans_hold(self):
+        scheduler = ReplanningWohaScheduler()
+        sim = build_sim(scheduler)
+        wf = (
+            WorkflowBuilder("w")
+            .job("a", maps=8, reduces=2, map_s=10, reduce_s=20)
+            .deadline(relative=600)
+            .build()
+        )
+        sim.add_workflow(wf)
+        result = sim.run()
+        assert scheduler.replans == 0
+        assert result.stats["w"].met_deadline
+
+    def test_replans_fire_under_heavy_noise(self):
+        scheduler = ReplanningWohaScheduler(min_lag=5, lag_fraction=0.05, cooldown=30.0)
+        sim = build_sim(scheduler, sigma=0.8)
+        wf = (
+            WorkflowBuilder("w")
+            .job("a", maps=10, reduces=3, map_s=10, reduce_s=20)
+            .job("b", maps=10, reduces=3, map_s=10, reduce_s=20, after=["a"])
+            .deadline(relative=260)
+            .build()
+        )
+        sim.add_workflow(wf)
+        result = sim.run()
+        assert result.stats["w"].completion_time < float("inf")
+        assert scheduler.replans >= 1
+
+    def test_cooldown_limits_replan_rate(self):
+        eager = ReplanningWohaScheduler(min_lag=1, lag_fraction=0.01, cooldown=1e9)
+        sim = build_sim(eager, sigma=0.8)
+        wf = (
+            WorkflowBuilder("w")
+            .job("a", maps=10, reduces=3, map_s=10, reduce_s=20)
+            .job("b", maps=10, reduces=3, map_s=10, reduce_s=20, after=["a"])
+            .deadline(relative=260)
+            .build()
+        )
+        sim.add_workflow(wf)
+        sim.run()
+        assert eager.replans <= 1  # one replan, then the cooldown blocks
+
+    def test_same_decisions_as_plain_without_triggers(self, small_workflow):
+        plain_sim = build_sim(WohaScheduler())
+        plain_sim.add_workflow(small_workflow)
+        plain = plain_sim.run()
+
+        replan_sim = build_sim(ReplanningWohaScheduler())
+        replan_sim.add_workflow(small_workflow)
+        replanned = replan_sim.run()
+        assert plain.stats["wf"].completion_time == replanned.stats["wf"].completion_time

@@ -1,0 +1,45 @@
+"""Cross-process determinism guard.
+
+Regression test for a real bug: frozenset iteration order is governed by
+Python's per-process hash randomization, and an unsorted iteration over a
+job's dependents made submitter-unlock order — and therefore whole
+simulation outcomes — vary between interpreter invocations.  This test
+runs the same noisy WOHA simulation in two subprocesses with different
+``PYTHONHASHSEED`` values and requires identical results.
+"""
+
+import os
+import subprocess
+import sys
+
+SCRIPT = """
+from repro import ClusterConfig, ClusterSimulation, LognormalNoise, WohaScheduler, make_planner
+from repro.workloads.topologies import fig7_topology
+
+wfs = [
+    fig7_topology("A", submit_time=0.0, relative_deadline=4000.0, duration_scale=1.0),
+    fig7_topology("B", submit_time=60.0, relative_deadline=3500.0, duration_scale=1.0),
+]
+config = ClusterConfig(num_nodes=8, map_slots_per_node=2, reduce_slots_per_node=1,
+                       heartbeat_interval=float("inf"))
+sim = ClusterSimulation(config, WohaScheduler(), submission="woha",
+                        planner=make_planner("lpf"),
+                        duration_sampler_factory=LognormalNoise(0.4, seed=13))
+sim.add_workflows(wfs)
+result = sim.run()
+print(sorted((k, v.completion_time) for k, v in result.stats.items()))
+print(result.events_processed)
+"""
+
+
+def _run_with_hash_seed(seed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=seed)
+    proc = subprocess.run(
+        [sys.executable, "-c", SCRIPT], capture_output=True, text=True, env=env, timeout=120
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_identical_outcomes_across_hash_seeds():
+    assert _run_with_hash_seed("1") == _run_with_hash_seed("2")

@@ -1,0 +1,120 @@
+"""Behavioural tests for the ported baselines: FIFO, Fair, EDF (§V-B)."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import ClusterSimulation
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.workflow.builder import WorkflowBuilder
+
+
+def run(workflows, scheduler, nodes=1):
+    config = ClusterConfig(
+        num_nodes=nodes, map_slots_per_node=2, reduce_slots_per_node=1, heartbeat_interval=float("inf")
+    )
+    sim = ClusterSimulation(config, scheduler, submission="oozie")
+    sim.add_workflows(workflows)
+    return sim.run(), sim
+
+
+def wide(name, maps, submit=0.0, deadline=None, map_s=10.0):
+    b = WorkflowBuilder(name).job("j", maps=maps, reduces=0, map_s=map_s).submit_at(submit)
+    if deadline is not None:
+        b.deadline(relative=deadline)
+    return b.build()
+
+
+class TestFifo:
+    def test_strict_submission_order(self):
+        first = wide("first", maps=4, submit=0.0)
+        second = wide("second", maps=4, submit=1.0)
+        result, _sim = run([first, second], FifoScheduler())
+        # 2 map slots: first takes 0-20, second 20-41ish.
+        assert result.stats["first"].completion_time < result.stats["second"].completion_time
+        assert result.stats["first"].completion_time == 20.0
+
+    def test_head_of_line_blocking(self):
+        """A giant first job delays a tiny later one — FIFO's signature."""
+        giant = wide("giant", maps=20, submit=0.0)
+        tiny = wide("tiny", maps=1, submit=1.0, deadline=30.0)
+        result, _sim = run([giant, tiny], FifoScheduler())
+        assert not result.stats["tiny"].met_deadline
+
+    def test_ignores_deadlines_entirely(self):
+        urgent = wide("urgent", maps=4, submit=1.0, deadline=15.0)
+        lazy = wide("lazy", maps=4, submit=0.0, deadline=10_000.0)
+        result, _sim = run([urgent, lazy], FifoScheduler())
+        assert result.stats["lazy"].completion_time < result.stats["urgent"].completion_time
+
+
+class TestFair:
+    def test_even_split_between_jobs(self):
+        a = wide("a", maps=10, map_s=10.0)
+        b = wide("b", maps=10, map_s=10.0)
+        result, _sim = run([a, b], FairScheduler())
+        # Each gets ~1 of 2 map slots: both finish around 100s.
+        ta, tb = result.stats["a"].completion_time, result.stats["b"].completion_time
+        assert abs(ta - tb) <= 10.0
+        assert max(ta, tb) == pytest.approx(100.0, abs=10.0)
+
+    def test_small_job_not_starved(self):
+        giant = wide("giant", maps=40)
+        tiny = wide("tiny", maps=2, submit=1.0)
+        result, _sim = run([giant, tiny], FairScheduler())
+        # Fair shares a slot with tiny as soon as one frees (Facebook's
+        # motivation): tiny finishes in ~3 waves, not after giant's 20.
+        assert result.stats["tiny"].completion_time <= 30.0
+        assert result.stats["tiny"].completion_time < result.stats["giant"].completion_time / 3
+
+    def test_work_conserving_single_job(self):
+        a = wide("a", maps=4)
+        result, _sim = run([a], FairScheduler())
+        assert result.stats["a"].completion_time == 20.0
+
+
+class TestEdf:
+    def test_earliest_deadline_wins(self):
+        # Slots are non-preemptible: tight can only start once loose's
+        # first wave (0-10s) drains, so its deadline must cover that.
+        tight = wide("tight", maps=4, submit=1.0, deadline=35.0)
+        loose = wide("loose", maps=4, submit=0.0, deadline=10_000.0)
+        result, _sim = run([tight, loose], EdfScheduler())
+        assert result.stats["tight"].met_deadline
+        # loose waited: it can at most have grabbed the first wave.
+        assert result.stats["loose"].completion_time > result.stats["tight"].completion_time
+
+    def test_no_deadline_sorts_last(self):
+        urgent = wide("urgent", maps=4, submit=1.0, deadline=30.0)
+        best_effort = wide("be", maps=4, submit=0.0)
+        result, _sim = run([urgent, best_effort], EdfScheduler())
+        assert result.stats["urgent"].met_deadline
+
+    def test_edf_starves_late_deadline_under_load(self):
+        """The Fig 11/16 pathology: EDF gives everything to the earliest
+        deadline even when the late workflow would only need a little."""
+        hog = wide("hog", maps=20, submit=0.0, deadline=120.0)
+        late = wide("late", maps=2, submit=1.0, deadline=200.0)
+        result, _sim = run([hog, late], EdfScheduler())
+        # late's 2 maps only run after hog's 20 (10 waves of 2).
+        assert result.stats["late"].completion_time >= result.stats["hog"].completion_time
+
+    def test_completed_workflows_leave_queue(self):
+        scheduler = EdfScheduler()
+        a = wide("a", maps=2, deadline=1000.0)
+        b = wide("b", maps=2, submit=1.0, deadline=2000.0)
+        run([a, b], scheduler)
+        assert scheduler._order == []
+
+
+class TestCrossSchedulerSanity:
+    """All baselines complete all workflows (work conservation) and agree
+    on total completed work."""
+
+    @pytest.mark.parametrize("scheduler_cls", [FifoScheduler, FairScheduler, EdfScheduler])
+    def test_everything_completes(self, scheduler_cls, small_workflow, chain3):
+        wfs = [small_workflow, chain3.with_timing(3.0, None).renamed("chain")]
+        result, sim = run(wfs, scheduler_cls(), nodes=2)
+        assert all(s.completion_time < float("inf") for s in result.stats.values())
+        assert result.metrics.tasks_completed == sum(w.total_tasks for w in wfs)

@@ -1,0 +1,32 @@
+"""Shared hypothesis strategies for the test suite."""
+
+from hypothesis import strategies as st
+
+from repro.workflow.builder import WorkflowBuilder
+
+
+@st.composite
+def workflows(draw, max_jobs=8, max_tasks=6, max_duration=50.0, with_deadline=False):
+    """Random valid workflows: layered DAGs with bounded fan-in."""
+    n = draw(st.integers(1, max_jobs))
+    builder = WorkflowBuilder("hw")
+    names = []
+    for k in range(n):
+        parents = []
+        for cand in names:
+            if len(parents) < 2 and draw(st.booleans()):
+                parents.append(cand)
+        maps = draw(st.integers(0, max_tasks))
+        reduces = draw(st.integers(0, max_tasks)) if maps else draw(st.integers(1, max_tasks))
+        builder.job(
+            f"j{k}",
+            maps=maps,
+            reduces=reduces,
+            map_s=draw(st.floats(1.0, max_duration)),
+            reduce_s=draw(st.floats(1.0, max_duration)),
+            after=parents,
+        )
+        names.append(f"j{k}")
+    if with_deadline:
+        builder.deadline(relative=draw(st.floats(10.0, 10_000.0)))
+    return builder.build()

@@ -1,0 +1,82 @@
+"""Unit + property tests for the AVL tree baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.avl import AvlTree
+
+
+class TestBasics:
+    def test_empty(self):
+        t = AvlTree()
+        assert len(t) == 0
+        assert t.peek_head() is None
+        with pytest.raises(KeyError):
+            t.pop_head()
+
+    def test_insert_find(self):
+        t = AvlTree()
+        t.insert(2, "b")
+        t.insert(1, "a")
+        t.insert(3, "c")
+        assert t.find(2) == "b"
+        assert [k for k, _ in t.items()] == [1, 2, 3]
+        t.check_invariants()
+
+    def test_duplicate_rejected(self):
+        t = AvlTree()
+        t.insert(1, "a")
+        with pytest.raises(KeyError):
+            t.insert(1, "b")
+
+    def test_sequential_insert_balances(self):
+        t = AvlTree()
+        for i in range(1000):
+            t.insert(i, i)
+        t.check_invariants()
+        # AVL height bound: 1.44 log2(n+2) ~= 14.4 for n=1000
+        assert t._root.height <= 15
+
+    def test_delete_leaf_and_internal(self):
+        t = AvlTree()
+        for i in (5, 2, 8, 1, 3, 7, 9):
+            t.insert(i, i)
+        assert t.delete(1) == 1  # leaf
+        assert t.delete(5) == 5  # two children (root)
+        assert t.delete(8) == 8  # one/two children
+        assert [k for k, _ in t.items()] == [2, 3, 7, 9]
+        t.check_invariants()
+
+    def test_delete_missing_rejected(self):
+        t = AvlTree()
+        t.insert(1, 1)
+        with pytest.raises(KeyError):
+            t.delete(42)
+
+    def test_pop_head_order(self):
+        t = AvlTree()
+        for i in (4, 1, 3, 2):
+            t.insert(i, i)
+        assert [t.pop_head()[0] for _ in range(4)] == [1, 2, 3, 4]
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(0, 300), max_size=120), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_random_ops_match_model(self, keys, data):
+        t = AvlTree()
+        model = {}
+        for k in keys:
+            op = data.draw(st.sampled_from(["insert", "delete", "pop"]))
+            if op == "insert" and k not in model:
+                t.insert(k, k * 3)
+                model[k] = k * 3
+            elif op == "delete" and model:
+                victim = data.draw(st.sampled_from(sorted(model)))
+                assert t.delete(victim) == model.pop(victim)
+            elif op == "pop" and model:
+                lo = min(model)
+                assert t.pop_head() == (lo, model.pop(lo))
+        assert [k for k, _ in t.items()] == sorted(model)
+        t.check_invariants()

@@ -1,0 +1,53 @@
+"""Unit tests for the sorted-list baseline."""
+
+import pytest
+
+from repro.structures.naive import SortedListMap
+
+
+class TestSortedListMap:
+    def test_empty(self):
+        m = SortedListMap()
+        assert len(m) == 0
+        assert m.peek_head() is None
+        with pytest.raises(KeyError):
+            m.pop_head()
+
+    def test_insert_keeps_sorted(self):
+        m = SortedListMap()
+        for k in (3, 1, 2):
+            m.insert(k, str(k))
+        assert [k for k, _ in m.items()] == [1, 2, 3]
+
+    def test_duplicate_rejected(self):
+        m = SortedListMap()
+        m.insert(1, "a")
+        with pytest.raises(KeyError):
+            m.insert(1, "b")
+
+    def test_delete_and_find(self):
+        m = SortedListMap()
+        for k in range(5):
+            m.insert(k, -k)
+        assert m.delete(3) == -3
+        assert 3 not in m
+        assert m.find(4) == -4
+        with pytest.raises(KeyError):
+            m.find(3)
+        with pytest.raises(KeyError):
+            m.delete(3)
+
+    def test_pop_head(self):
+        m = SortedListMap()
+        for k in (9, 4, 6):
+            m.insert(k, k)
+        assert m.pop_head() == (4, 4)
+        assert m.peek_head() == (6, 6)
+
+    def test_items_snapshot_safe(self):
+        m = SortedListMap()
+        m.insert(1, "a")
+        m.insert(2, "b")
+        items = m.items()
+        m.delete(1)
+        assert list(items) == [(1, "a"), (2, "b")]

@@ -1,0 +1,165 @@
+"""Unit + property tests for the deterministic 1-2-3 skip list."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.skiplist import DeterministicSkipList
+
+
+class TestBasics:
+    def test_empty(self):
+        sl = DeterministicSkipList()
+        assert len(sl) == 0
+        assert sl.peek_head() is None
+        assert list(sl.items()) == []
+        with pytest.raises(KeyError):
+            sl.pop_head()
+        with pytest.raises(KeyError):
+            sl.find(1)
+        with pytest.raises(KeyError):
+            sl.delete(1)
+
+    def test_single_element(self):
+        sl = DeterministicSkipList()
+        sl.insert(5, "five")
+        assert len(sl) == 1
+        assert sl.peek_head() == (5, "five")
+        assert sl.find(5) == "five"
+        assert 5 in sl
+        sl.check_invariants()
+
+    def test_ascending_insert_keeps_order(self):
+        sl = DeterministicSkipList()
+        for i in range(100):
+            sl.insert(i, i * 2)
+        assert [k for k, _ in sl.items()] == list(range(100))
+        sl.check_invariants()
+
+    def test_descending_insert_keeps_order(self):
+        sl = DeterministicSkipList()
+        for i in reversed(range(100)):
+            sl.insert(i, i)
+        assert [k for k, _ in sl.items()] == list(range(100))
+        sl.check_invariants()
+
+    def test_duplicate_insert_rejected(self):
+        sl = DeterministicSkipList()
+        sl.insert(1, "a")
+        with pytest.raises(KeyError):
+            sl.insert(1, "b")
+        assert sl.find(1) == "a"
+        assert len(sl) == 1
+
+    def test_tuple_keys(self):
+        sl = DeterministicSkipList()
+        sl.insert((1.5, "b"), 1)
+        sl.insert((1.5, "a"), 2)
+        sl.insert((0.5, "z"), 3)
+        assert [k for k, _ in sl.items()] == [(0.5, "z"), (1.5, "a"), (1.5, "b")]
+
+    def test_none_key_rejected(self):
+        sl = DeterministicSkipList()
+        with pytest.raises(TypeError):
+            sl.insert(None, 1)
+
+
+class TestDeletion:
+    def test_delete_returns_value(self):
+        sl = DeterministicSkipList()
+        for i in range(20):
+            sl.insert(i, -i)
+        assert sl.delete(7) == -7
+        assert 7 not in sl
+        assert len(sl) == 19
+        sl.check_invariants()
+
+    def test_delete_missing_rejected(self):
+        sl = DeterministicSkipList()
+        sl.insert(1, 1)
+        with pytest.raises(KeyError):
+            sl.delete(2)
+
+    def test_delete_all_then_reuse(self):
+        sl = DeterministicSkipList()
+        for i in range(50):
+            sl.insert(i, i)
+        for i in range(50):
+            sl.delete(i)
+        assert len(sl) == 0
+        sl.check_invariants()
+        sl.insert(99, "back")
+        assert sl.peek_head() == (99, "back")
+
+    def test_pop_head_is_minimum(self):
+        sl = DeterministicSkipList()
+        for i in (5, 3, 9, 1, 7):
+            sl.insert(i, str(i))
+        assert sl.pop_head() == (1, "1")
+        assert sl.pop_head() == (3, "3")
+        assert len(sl) == 3
+        sl.check_invariants()
+
+    def test_interleaved_pop_and_insert(self):
+        sl = DeterministicSkipList()
+        for i in range(0, 100, 2):
+            sl.insert(i, i)
+        for i in range(1, 100, 2):
+            sl.insert(i, i)
+            key, _ = sl.pop_head()
+        sl.check_invariants()
+        assert len(sl) == 50
+
+    def test_height_stays_logarithmic(self):
+        sl = DeterministicSkipList()
+        for i in range(1024):
+            sl.insert(i, i)
+        # 1-2-3 list over 1024 elements: height <= log2(n) + slack.
+        assert sl.height <= 14
+        sl.check_invariants()
+
+
+KEYS = st.lists(st.integers(min_value=0, max_value=200), min_size=0, max_size=80)
+
+
+class TestPropertyBased:
+    @given(KEYS)
+    @settings(max_examples=120, deadline=None)
+    def test_matches_sorted_set_semantics(self, keys):
+        sl = DeterministicSkipList()
+        model = {}
+        for k in keys:
+            if k in model:
+                with pytest.raises(KeyError):
+                    sl.insert(k, k)
+            else:
+                sl.insert(k, k)
+                model[k] = k
+        assert [k for k, _ in sl.items()] == sorted(model)
+        sl.check_invariants()
+
+    @given(KEYS, st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_random_op_sequences(self, keys, data):
+        sl = DeterministicSkipList()
+        model = {}
+        for k in keys:
+            op = data.draw(st.sampled_from(["insert", "delete", "pop", "find"]))
+            if op == "insert" and k not in model:
+                sl.insert(k, -k)
+                model[k] = -k
+            elif op == "delete" and model:
+                victim = data.draw(st.sampled_from(sorted(model)))
+                assert sl.delete(victim) == model.pop(victim)
+            elif op == "pop" and model:
+                lo = min(model)
+                assert sl.pop_head() == (lo, model.pop(lo))
+            elif op == "find":
+                if k in model:
+                    assert sl.find(k) == model[k]
+                else:
+                    with pytest.raises(KeyError):
+                        sl.find(k)
+            assert len(sl) == len(model)
+        assert [k for k, _ in sl.items()] == sorted(model)
+        sl.check_invariants()

@@ -1,0 +1,78 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+WORKFLOW_XML = """
+<workflow name="demo" deadline="1200">
+  <job name="a" maps="20" reduces="4" map-duration="30" reduce-duration="100">
+    <output>/s/a</output>
+  </job>
+  <job name="b" maps="10" reduces="2" map-duration="20" reduce-duration="60">
+    <input>/s/a</input>
+  </job>
+</workflow>
+"""
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "wf.xml"
+    path.write_text(WORKFLOW_XML)
+    return str(path)
+
+
+class TestPlanCommand:
+    def test_plan_prints_cap_and_steps(self, xml_file, capsys):
+        assert main(["plan", xml_file, "--slots", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "resource cap" in out
+        assert "demo" in out
+        assert "tasks required" in out
+
+    def test_plan_no_cap_search_uses_full_slots(self, xml_file, capsys):
+        assert main(["plan", xml_file, "--slots", "48", "--no-cap-search"]) == 0
+        out = capsys.readouterr().out
+        assert "resource cap  : 48 of 48" in out
+
+    def test_plan_split_pool(self, xml_file, capsys):
+        assert main(["plan", xml_file, "--slots", "48", "--pool", "split"]) == 0
+        assert "(split)" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    @pytest.mark.parametrize("scheduler", ["fifo", "fair", "edf", "woha-lpf"])
+    def test_simulate_xml(self, xml_file, capsys, scheduler):
+        assert main(["simulate", xml_file, "--scheduler", scheduler, "--nodes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert "miss ratio" in out
+
+    def test_simulate_without_input_errors(self, capsys):
+        assert main(["simulate"]) == 2
+
+    def test_simulate_with_heartbeats(self, xml_file, capsys):
+        assert main(["simulate", xml_file, "--nodes", "8", "--heartbeat", "3"]) == 0
+        assert "demo" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_trace_then_simulate(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.json")
+        assert main([
+            "trace", "--out", trace_path, "--workflows", "6", "--jobs", "18",
+            "--single-job", "2", "--task-scale", "0.3",
+        ]) == 0
+        assert "wrote 6 workflows" in capsys.readouterr().out
+        assert main(["simulate", "--trace", trace_path, "--nodes", "16", "--scheduler", "edf"]) == 0
+        out = capsys.readouterr().out
+        assert "yw00" in out
+
+    def test_trace_drop_single_job(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.json")
+        assert main([
+            "trace", "--out", trace_path, "--workflows", "6", "--jobs", "18",
+            "--single-job", "2", "--drop-single-job",
+        ]) == 0
+        assert "wrote 4 workflows" in capsys.readouterr().out

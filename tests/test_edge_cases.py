@@ -1,0 +1,173 @@
+"""Edge-case tests across modules: churn, ties, staggering, failure mixes."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.failures import FailureInjector, Outage
+from repro.cluster.jobtracker import JobTracker
+from repro.cluster.simulation import ClusterSimulation
+from repro.cluster.tasks import TaskKind
+from repro.core.client import make_planner
+from repro.core.scheduler import WohaScheduler
+from repro.events import Simulator
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.structures.skiplist import DeterministicSkipList
+from repro.workflow.builder import WorkflowBuilder
+from repro.workloads.yahoo import YahooTraceConfig, generate_yahoo_workflows
+
+
+class TestSkipListChurn:
+    def test_heavy_head_deletion_churn(self):
+        sl = DeterministicSkipList()
+        for i in range(512):
+            sl.insert(i, i)
+        for i in range(500):
+            sl.pop_head()
+        sl.check_invariants()
+        # Structure remains usable after deep head churn.
+        for i in range(1000, 1500):
+            sl.insert(i, i)
+        sl.check_invariants()
+        assert len(sl) == 512 - 500 + 500
+
+    def test_alternating_insert_delete_same_keys(self):
+        sl = DeterministicSkipList()
+        for round_ in range(20):
+            for i in range(30):
+                sl.insert((i, round_), i)
+            for i in range(30):
+                sl.delete((i, round_))
+        assert len(sl) == 0
+        sl.check_invariants()
+
+    def test_reverse_deletion_order(self):
+        sl = DeterministicSkipList()
+        for i in range(200):
+            sl.insert(i, i)
+        for i in reversed(range(200)):
+            sl.delete(i)
+        assert len(sl) == 0
+        sl.check_invariants()
+
+    def test_height_bounded_after_churn(self):
+        sl = DeterministicSkipList()
+        for i in range(2048):
+            sl.insert(i, i)
+        for i in range(0, 2048, 2):
+            sl.delete(i)
+        # Height tracks the historical maximum (documented trade-off) but
+        # must stay logarithmic in it.
+        assert sl.height <= 16
+        sl.check_invariants()
+
+
+class TestSchedulerTieBreaks:
+    def _cluster(self):
+        return ClusterConfig(
+            num_nodes=1, map_slots_per_node=2, reduce_slots_per_node=1, heartbeat_interval=float("inf")
+        )
+
+    def test_edf_equal_deadlines_fall_back_to_submission_order(self):
+        wfs = [
+            WorkflowBuilder("b-second").job("j", maps=2, reduces=0, map_s=10).submit_at(1.0)
+            .deadline(absolute=100.0).build(),
+            WorkflowBuilder("a-first").job("j", maps=2, reduces=0, map_s=10).submit_at(0.0)
+            .deadline(absolute=100.0).build(),
+        ]
+        sim = ClusterSimulation(self._cluster(), EdfScheduler(), submission="oozie")
+        sim.add_workflows(wfs)
+        result = sim.run()
+        assert (
+            result.stats["a-first"].completion_time < result.stats["b-second"].completion_time
+        )
+
+    def test_fair_is_fair_per_slot_kind(self):
+        """A reduce-heavy and a map-heavy job must not block each other."""
+        map_heavy = WorkflowBuilder("maps").job("j", maps=10, reduces=0, map_s=10).build()
+        reduce_heavy = (
+            WorkflowBuilder("reduces").job("j", maps=1, reduces=6, map_s=1, reduce_s=10).build()
+        )
+        sim = ClusterSimulation(self._cluster(), FairScheduler(), submission="oozie")
+        sim.add_workflows([map_heavy, reduce_heavy])
+        result = sim.run()
+        # reduce-heavy's map waits one wave (map slots busy until t=10),
+        # then its 6 reduces run on the reduce slot concurrently with
+        # map-heavy's remaining maps: ~11 + 60 = ~71.  Neither workload
+        # blocks the other's slot kind.
+        assert result.stats["reduces"].completion_time <= 75.0
+        assert result.stats["maps"].completion_time <= 55.0
+
+
+class TestTrackerSelection:
+    def test_round_robin_spreads_tasks(self):
+        sim = Simulator()
+        config = ClusterConfig(
+            num_nodes=4, map_slots_per_node=2, reduce_slots_per_node=1, heartbeat_interval=float("inf")
+        )
+        jt = JobTracker(sim, config, FifoScheduler())
+        wf = WorkflowBuilder("w").job("j", maps=8, reduces=0, map_s=10).build()
+        jt.submit_workflow(wf, use_submitter=False)
+        jt.submit_wjob("w", "j")
+        per_tracker = [len(t.running) for t in jt.trackers]
+        assert per_tracker == [2, 2, 2, 2]
+
+
+class TestHeartbeatStaggering:
+    def test_first_heartbeats_spread_across_interval(self):
+        sim = Simulator()
+        config = ClusterConfig(
+            num_nodes=4, map_slots_per_node=1, reduce_slots_per_node=1,
+            heartbeat_interval=4.0, eager_heartbeats=False,
+        )
+        jt = JobTracker(sim, config, FifoScheduler())
+        seen = []
+
+        original = jt.heartbeat
+
+        def spy(tracker):
+            seen.append((sim.now, tracker.tracker_id))
+            return original(tracker)
+
+        jt.heartbeat = spy
+        jt.start_heartbeats()
+        sim.run(until=4.0)
+        times = sorted(t for t, _tid in seen)
+        assert len(times) == 4
+        assert len(set(times)) == 4  # all distinct: no heartbeat storm
+
+
+class TestSimulationControls:
+    def test_run_until_freezes_midway(self, small_workflow, tiny_cluster):
+        sim = ClusterSimulation(tiny_cluster, FifoScheduler(), submission="oozie")
+        sim.add_workflow(small_workflow)
+        partial = sim.run(until=15.0)
+        assert partial.stats["wf"].completion_time == float("inf")
+        final = sim.run()
+        assert final.stats["wf"].completion_time < float("inf")
+
+    def test_max_events_guard_propagates(self, small_workflow, tiny_cluster):
+        from repro.events import SimulationError
+
+        sim = ClusterSimulation(tiny_cluster, FifoScheduler(), submission="oozie")
+        sim.add_workflow(small_workflow)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=3)
+
+
+class TestFailuresOnTrace:
+    def test_woha_trace_run_survives_random_outages(self):
+        workflows = generate_yahoo_workflows(
+            YahooTraceConfig(num_workflows=10, total_jobs=30, num_single_job=2, seed=3)
+        )
+        config = ClusterConfig.from_total_slots(60, 30, nodes=10, heartbeat_interval=float("inf"))
+        sim = ClusterSimulation(config, WohaScheduler(), submission="woha", planner=make_planner())
+        injector = FailureInjector(sim.sim, sim.jobtracker)
+        injector.random_outages(horizon=2000.0, rate_per_hour=30.0, mean_downtime=120.0, seed=5)
+        sim.add_workflows(workflows)
+        result = sim.run()
+        # Every workflow still completes despite the outage process
+        # (enough trackers recover to retain capacity).
+        assert all(s.completion_time < float("inf") for s in result.stats.values())
+        assert result.metrics.tasks_completed >= sum(w.total_tasks for w in workflows)

@@ -1,0 +1,77 @@
+"""Unit tests for task-duration estimators."""
+
+import pytest
+
+from repro.estimate import HistoryEstimator, SizeModelEstimator, TaskObservation
+
+
+def obs(job="j", phase="map", duration=10.0, size=0):
+    return TaskObservation(job_name=job, phase=phase, duration=duration, input_bytes=size)
+
+
+class TestHistoryEstimator:
+    def test_default_for_unknown(self):
+        est = HistoryEstimator(default=42.0)
+        assert est.estimate("ghost", "map") == 42.0
+        assert not est.known("ghost", "map")
+
+    def test_plain_mean_with_decay_one(self):
+        est = HistoryEstimator(decay=1.0)
+        est.observe_all([obs(duration=10.0), obs(duration=20.0), obs(duration=30.0)])
+        assert est.estimate("j", "map") == pytest.approx(20.0)
+
+    def test_decay_weights_recent_runs(self):
+        est = HistoryEstimator(decay=0.5)
+        est.observe(obs(duration=100.0))
+        est.observe(obs(duration=10.0))
+        # Recent 10s should dominate: weighted mean = (0.5*100 + 10)/(0.5+1)
+        assert est.estimate("j", "map") == pytest.approx(40.0)
+        assert est.estimate("j", "map") < 55.0
+
+    def test_phases_independent(self):
+        est = HistoryEstimator()
+        est.observe(obs(phase="map", duration=10.0))
+        est.observe(obs(phase="reduce", duration=100.0))
+        assert est.estimate("j", "map") == pytest.approx(10.0)
+        assert est.estimate("j", "reduce") == pytest.approx(100.0)
+
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(ValueError):
+            HistoryEstimator(decay=0.0)
+        with pytest.raises(ValueError):
+            HistoryEstimator(decay=1.5)
+
+
+class TestSizeModelEstimator:
+    def test_default_until_two_points(self):
+        est = SizeModelEstimator(default=33.0)
+        assert est.estimate("map", 1000) == 33.0
+        est.observe(obs(duration=5.0, size=100))
+        assert est.estimate("map", 1000) == 33.0
+
+    def test_linear_fit_recovered(self):
+        est = SizeModelEstimator()
+        # duration = 0.01 * size + 5
+        for size in (100, 200, 400, 800):
+            est.observe(obs(duration=0.01 * size + 5.0, size=size))
+        assert est.estimate("map", 1000) == pytest.approx(15.0, rel=1e-6)
+
+    def test_constant_sizes_fall_back_to_mean(self):
+        est = SizeModelEstimator()
+        est.observe(obs(duration=10.0, size=500))
+        est.observe(obs(duration=20.0, size=500))
+        assert est.estimate("map", 500) == pytest.approx(15.0)
+
+    def test_estimates_floor_at_one_second(self):
+        est = SizeModelEstimator()
+        est.observe(obs(duration=1.0, size=1000))
+        est.observe(obs(duration=2.0, size=2000))
+        assert est.estimate("map", 0) >= 1.0
+
+    def test_refit_after_new_observation(self):
+        est = SizeModelEstimator()
+        est.observe(obs(duration=10.0, size=100))
+        est.observe(obs(duration=20.0, size=200))
+        first = est.estimate("map", 300)
+        est.observe(obs(duration=90.0, size=300))
+        assert est.estimate("map", 300) != first

@@ -1,0 +1,48 @@
+"""Smoke tests: the fast example scripts run and print sensible output.
+
+The heavyweight examples (scheduler_comparison, trace_replay,
+render_figures) are exercised by the benches that share their code paths;
+here we run the quick ones end to end.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name: str):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, f"{name}.py"))
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart")
+        out = capsys.readouterr().out
+        assert "met deadline  : True" in out
+
+    def test_xml_workflow(self, capsys):
+        run_example("xml_workflow")
+        out = capsys.readouterr().out
+        assert "met: True" in out
+        assert "build-edges   <- parse-events" in out
+
+    def test_ad_pipeline_shows_the_contrast(self, capsys):
+        run_example("ad_pipeline")
+        out = capsys.readouterr().out
+        assert "MISSED" in out  # FIFO misses the placement deadline
+        assert out.count("MET") >= 1  # WOHA meets it
+
+    def test_fault_tolerance(self, capsys):
+        run_example("fault_tolerance")
+        out = capsys.readouterr().out
+        assert out.count("MET") == 3  # resilient under every configuration
+        assert "nodes lost" in out

@@ -1,0 +1,81 @@
+"""Unit tests for the HDFS-lite namespace."""
+
+import pytest
+
+from repro.hdfs import HdfsError, HdfsNamespace
+
+
+class TestCreate:
+    def test_create_and_stat(self):
+        fs = HdfsNamespace()
+        meta = fs.create("/a/b", created_at=5.0, producer="wf/job", size_bytes=10)
+        assert fs.stat("/a/b") == meta
+        assert meta.created_at == 5.0 and meta.producer == "wf/job"
+
+    def test_double_create_rejected(self):
+        fs = HdfsNamespace()
+        fs.create("/a", created_at=0.0)
+        with pytest.raises(HdfsError, match="already exists"):
+            fs.create("/a", created_at=1.0)
+
+    def test_relative_path_rejected(self):
+        fs = HdfsNamespace()
+        with pytest.raises(HdfsError, match="absolute"):
+            fs.create("a/b", created_at=0.0)
+
+    def test_paths_normalised(self):
+        fs = HdfsNamespace()
+        fs.create("/a//b/", created_at=0.0)
+        assert fs.exists("/a/b")
+
+    def test_preload(self):
+        fs = HdfsNamespace()
+        fs.preload(["/data/x", "/data/y"])
+        assert fs.exists("/data/x") and fs.exists("/data/y")
+        assert fs.stat("/data/x").producer is None
+
+
+class TestExists:
+    def test_directory_prefix_semantics(self):
+        fs = HdfsNamespace()
+        fs.create("/logs/2014/03/07", created_at=0.0)
+        assert fs.exists("/logs")
+        assert fs.exists("/logs/2014")
+        assert not fs.exists("/logs/2015")
+
+    def test_prefix_is_component_wise(self):
+        fs = HdfsNamespace()
+        fs.create("/data-raw", created_at=0.0)
+        assert not fs.exists("/data")  # "/data" is not a path prefix of "/data-raw"
+
+    def test_missing_helper(self):
+        fs = HdfsNamespace()
+        fs.create("/x", created_at=0.0)
+        assert fs.missing(["/x", "/y", "/z"]) == ("/y", "/z")
+
+
+class TestDeleteAndList:
+    def test_delete_recursive(self):
+        fs = HdfsNamespace()
+        fs.create("/d/one", created_at=0.0)
+        fs.create("/d/two", created_at=0.0)
+        fs.delete("/d")
+        assert not fs.exists("/d")
+        assert len(fs) == 0
+
+    def test_delete_missing_rejected(self):
+        fs = HdfsNamespace()
+        with pytest.raises(HdfsError):
+            fs.delete("/nope")
+
+    def test_stat_missing_rejected(self):
+        fs = HdfsNamespace()
+        with pytest.raises(HdfsError):
+            fs.stat("/nope")
+
+    def test_listing_sorted_and_scoped(self):
+        fs = HdfsNamespace()
+        for path in ("/b", "/a/2", "/a/1", "/c/x"):
+            fs.create(path, created_at=0.0)
+        assert [m.path for m in fs.listing("/a")] == ["/a/1", "/a/2"]
+        assert [m.path for m in fs.listing()] == ["/a/1", "/a/2", "/b", "/c/x"]

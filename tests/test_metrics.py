@@ -1,0 +1,98 @@
+"""Unit tests for metrics collection and report helpers."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import ClusterSimulation, WorkflowStats
+from repro.cluster.tasks import TaskKind
+from repro.metrics.report import (
+    deadline_miss_ratio,
+    format_table,
+    max_tardiness,
+    total_tardiness,
+    workspans,
+)
+from repro.schedulers.fifo import FifoScheduler
+from repro.workflow.builder import WorkflowBuilder
+
+
+def stats(name, submit, done, deadline):
+    return WorkflowStats(name=name, submit_time=submit, completion_time=done, deadline=deadline)
+
+
+class TestReportHelpers:
+    def test_miss_ratio(self):
+        data = [stats("a", 0, 10, 20), stats("b", 0, 30, 20), stats("c", 0, 5, None)]
+        assert deadline_miss_ratio(data) == 0.5  # best-effort excluded
+
+    def test_miss_ratio_empty_and_all_best_effort(self):
+        assert deadline_miss_ratio([]) == 0.0
+        assert deadline_miss_ratio([stats("a", 0, 10, None)]) == 0.0
+
+    def test_tardiness_aggregates(self):
+        data = [stats("a", 0, 30, 20), stats("b", 0, 25, 20), stats("c", 0, 10, 20)]
+        assert max_tardiness(data) == 10.0
+        assert total_tardiness(data) == 15.0
+
+    def test_tardiness_zero_when_all_met(self):
+        data = [stats("a", 0, 10, 20)]
+        assert max_tardiness(data) == 0.0
+        assert total_tardiness(data) == 0.0
+
+    def test_workspans(self):
+        data = [stats("a", 5, 30, None)]
+        assert workspans(data) == {"a": 25.0}
+
+    def test_format_table_alignment(self):
+        out = format_table(["name", "value"], [["x", 1.5], ["longer", 22.25]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        assert "22.250" in lines[4]
+
+
+class TestCollector:
+    @pytest.fixture
+    def run_result(self, tiny_cluster):
+        wf = (
+            WorkflowBuilder("w")
+            .job("a", maps=4, reduces=2, map_s=10, reduce_s=20)
+            .build()
+        )
+        sim = ClusterSimulation(tiny_cluster, FifoScheduler(), submission="oozie")
+        sim.add_workflow(wf)
+        return sim.run()
+
+    def test_busy_seconds_match_task_durations(self, run_result):
+        m = run_result.metrics
+        assert m.busy_map_seconds == 4 * 10.0
+        assert m.busy_reduce_seconds == 2 * 20.0
+
+    def test_utilization_bounds(self, run_result):
+        u = run_result.metrics.utilization()
+        assert 0.0 < u <= 1.0
+
+    def test_allocation_series_steps(self, run_result):
+        series = run_result.metrics.allocation_series(TaskKind.MAP, workflow="w")
+        # 4 maps on 4 slots at t=0, drop to 0 at t=10, reduces later.
+        assert series[0].time == 0.0 and series[0].count == 4
+        assert series[-1].count == 0
+
+    def test_allocation_series_reduce(self, run_result):
+        series = run_result.metrics.allocation_series(TaskKind.REDUCE, workflow="w")
+        assert max(s.count for s in series) == 2
+
+    def test_allocation_matrix_grid(self, run_result):
+        times, counts = run_result.metrics.allocation_matrix(TaskKind.MAP, ["w"], step=5.0)
+        assert len(times) == len(counts["w"])
+        assert counts["w"][0] == 4  # sampled at t=0
+        assert counts["w"][-1] == 0
+
+    def test_peak_allocation(self, run_result, tiny_cluster):
+        assert run_result.metrics.peak_allocation(TaskKind.MAP) == tiny_cluster.total_map_slots
+
+    def test_event_counters(self, run_result):
+        m = run_result.metrics
+        assert m.tasks_launched == m.tasks_completed == 6
+        assert m.window == 30.0

@@ -1,0 +1,87 @@
+"""Tests for estimation-error noise injection."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import ClusterSimulation
+from repro.cluster.tasks import TaskKind
+from repro.noise import LognormalNoise
+from repro.schedulers.fifo import FifoScheduler
+from repro.workflow.builder import WorkflowBuilder
+from repro.workflow.model import WJob
+
+
+def wjob():
+    return WJob(name="j", num_maps=4, num_reduces=2, map_duration=10.0, reduce_duration=20.0)
+
+
+class TestLognormalNoise:
+    def test_sigma_zero_is_identity(self):
+        noise = LognormalNoise(0.0)
+        assert noise(wjob()) is None
+        assert noise.factor("j", TaskKind.MAP, 0) == 1.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LognormalNoise(-0.1)
+
+    def test_factors_deterministic_per_task(self):
+        a = LognormalNoise(0.3, seed=5)
+        b = LognormalNoise(0.3, seed=5)
+        assert a.factor("j", TaskKind.MAP, 3) == b.factor("j", TaskKind.MAP, 3)
+
+    def test_factors_vary_across_tasks_and_seeds(self):
+        noise = LognormalNoise(0.3, seed=5)
+        f0 = noise.factor("j", TaskKind.MAP, 0)
+        f1 = noise.factor("j", TaskKind.MAP, 1)
+        other_seed = LognormalNoise(0.3, seed=6).factor("j", TaskKind.MAP, 0)
+        assert f0 != f1
+        assert f0 != other_seed
+
+    def test_sampler_scales_base_durations(self):
+        noise = LognormalNoise(0.5, seed=1)
+        sampler = noise(wjob())
+        d = sampler(TaskKind.MAP, 0)
+        assert d == 10.0 * noise.factor("j", TaskKind.MAP, 0)
+        assert d > 0
+
+    def test_median_is_one(self):
+        """Lognormal with mu=0: about half the factors are below 1."""
+        noise = LognormalNoise(0.4, seed=2)
+        factors = [noise.factor("j", TaskKind.MAP, i) for i in range(400)]
+        below = sum(1 for f in factors if f < 1.0)
+        assert 140 < below < 260
+
+
+class TestSimulationWithNoise:
+    def _run(self, sigma, seed=7):
+        wf = (
+            WorkflowBuilder("w")
+            .job("a", maps=6, reduces=2, map_s=10, reduce_s=20)
+            .build()
+        )
+        config = ClusterConfig(
+            num_nodes=2, map_slots_per_node=2, reduce_slots_per_node=1, heartbeat_interval=float("inf")
+        )
+        sim = ClusterSimulation(
+            config,
+            FifoScheduler(),
+            submission="oozie",
+            duration_sampler_factory=LognormalNoise(sigma, seed=seed),
+        )
+        sim.add_workflow(wf)
+        return sim.run()
+
+    def test_zero_noise_matches_clean_run(self):
+        noisy = self._run(0.0)
+        clean = self._run(0.0, seed=99)
+        assert noisy.stats["w"].completion_time == clean.stats["w"].completion_time
+
+    def test_noise_changes_completion_times(self):
+        assert self._run(0.5).stats["w"].completion_time != self._run(0.0).stats["w"].completion_time
+
+    def test_noisy_runs_reproducible(self):
+        assert (
+            self._run(0.5, seed=3).stats["w"].completion_time
+            == self._run(0.5, seed=3).stats["w"].completion_time
+        )

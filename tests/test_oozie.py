@@ -1,0 +1,87 @@
+"""Unit tests for the Oozie-lite coordinator."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.jobtracker import JobTracker
+from repro.events import Simulator
+from repro.oozie import OozieCoordinator
+from repro.schedulers.fifo import FifoScheduler
+from repro.workflow.builder import WorkflowBuilder
+
+
+def rig(poll_interval=0.0):
+    sim = Simulator()
+    config = ClusterConfig(
+        num_nodes=2,
+        map_slots_per_node=2,
+        reduce_slots_per_node=1,
+        heartbeat_interval=float("inf"),
+        oozie_poll_interval=poll_interval,
+    )
+    jt = JobTracker(sim, config, FifoScheduler())
+    oozie = OozieCoordinator(sim, jt)
+    return sim, jt, oozie
+
+
+def chain(name="wf"):
+    return (
+        WorkflowBuilder(name)
+        .job("a", maps=1, reduces=0, map_s=10)
+        .job("b", maps=1, reduces=0, map_s=10, after=["a"])
+        .job("c", maps=1, reduces=0, map_s=10, after=["b"])
+        .build()
+    )
+
+
+class TestImmediateMode:
+    def test_roots_submitted_at_workflow_submission(self):
+        sim, jt, oozie = rig()
+        wip = oozie.submit_workflow(chain())
+        assert set(wip.jobs) == {"a"}
+
+    def test_dependents_submitted_on_completion(self):
+        sim, jt, oozie = rig()
+        wip = oozie.submit_workflow(chain())
+        sim.run(until=10.0)
+        assert set(wip.jobs) == {"a", "b"}
+        sim.run()
+        assert wip.done
+        assert wip.completion_time == 30.0
+
+    def test_no_submitter_job_in_oozie_mode(self):
+        sim, jt, oozie = rig()
+        wip = oozie.submit_workflow(chain())
+        assert wip.submitter is None
+
+    def test_parallel_workflows_independent(self):
+        sim, jt, oozie = rig()
+        w1 = oozie.submit_workflow(chain("w1"))
+        w2 = oozie.submit_workflow(chain("w2"))
+        sim.run()
+        assert w1.done and w2.done
+
+
+class TestPollingMode:
+    def test_poll_delay_postpones_submission(self):
+        sim, jt, oozie = rig(poll_interval=5.0)
+        wip = oozie.submit_workflow(chain())
+        sim.run(until=10.0)
+        assert set(wip.jobs) == {"a"}  # b not yet submitted at completion
+        sim.run(until=15.0)
+        assert set(wip.jobs) == {"a", "b"}
+
+    def test_chain_completion_includes_poll_latency(self):
+        sim, jt, oozie = rig(poll_interval=5.0)
+        wip = oozie.submit_workflow(chain())
+        sim.run()
+        assert wip.done
+        # Two dependency hand-offs, each costing up to one poll interval.
+        assert wip.completion_time == 40.0
+
+    def test_foreign_job_completions_ignored(self):
+        sim, jt, oozie = rig()
+        # Workflow submitted directly (WOHA-style), not via Oozie.
+        jt.submit_workflow(chain("foreign"), use_submitter=True)
+        sim.run()
+        assert jt.workflows["foreign"].done  # Oozie did not interfere

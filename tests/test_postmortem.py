@@ -1,0 +1,111 @@
+"""Tests for post-mortem analysis and progress curves."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.client import make_planner
+from repro.core.scheduler import WohaScheduler
+from repro.metrics.postmortem import PostMortem
+from repro.schedulers.fifo import FifoScheduler
+from repro.workflow.builder import WorkflowBuilder
+
+
+@pytest.fixture
+def run_rig(tiny_cluster):
+    def _run(workflow, scheduler=None, submission="oozie", planner=None):
+        sim = ClusterSimulation(
+            tiny_cluster, scheduler or FifoScheduler(), submission=submission, planner=planner
+        )
+        postmortem = PostMortem()
+        sim.jobtracker.add_listener(postmortem)
+        sim.add_workflow(workflow)
+        result = sim.run()
+        return result, postmortem, sim
+
+    return _run
+
+
+def heavy_light():
+    """Diamond where the realized critical path must follow the heavy arm."""
+    return (
+        WorkflowBuilder("w")
+        .job("src", maps=1, reduces=0, map_s=5)
+        .job("heavy", maps=8, reduces=2, map_s=20, reduce_s=40, after=["src"])
+        .job("light", maps=1, reduces=0, map_s=1, after=["src"])
+        .job("sink", maps=1, reduces=0, map_s=5, after=["heavy", "light"])
+        .build()
+    )
+
+
+class TestJobSpans:
+    def test_spans_recorded_for_all_jobs(self, run_rig):
+        _result, pm, _sim = run_rig(heavy_light())
+        spans = pm.job_spans("w")
+        assert {s.name for s in spans} == {"src", "heavy", "light", "sink"}
+        assert all(s.finish_time is not None for s in spans)
+
+    def test_span_fields_consistent(self, run_rig):
+        _result, pm, _sim = run_rig(heavy_light())
+        for span in pm.job_spans("w"):
+            assert span.submit_time <= span.first_launch <= span.finish_time
+            assert span.queue_delay >= 0.0
+            assert span.span >= 0.0
+
+    def test_map_phase_end_recorded(self, run_rig):
+        _result, pm, _sim = run_rig(heavy_light())
+        heavy = next(s for s in pm.job_spans("w") if s.name == "heavy")
+        assert heavy.map_phase_end is not None
+        assert heavy.map_phase_end < heavy.finish_time  # reduces follow
+
+
+class TestRealizedCriticalPath:
+    def test_follows_heavy_arm(self, run_rig):
+        _result, pm, _sim = run_rig(heavy_light())
+        assert pm.realized_critical_path("w") == ["src", "heavy", "sink"]
+
+    def test_is_a_real_dependency_chain(self, run_rig):
+        wf = heavy_light()
+        _result, pm, sim = run_rig(wf)
+        path = pm.realized_critical_path("w")
+        for pre, job in zip(path, path[1:]):
+            assert pre in wf.prerequisites(job)
+
+    def test_unknown_workflow_raises(self, run_rig):
+        _result, pm, _sim = run_rig(heavy_light())
+        with pytest.raises(KeyError):
+            pm.realized_critical_path("ghost")
+
+    def test_completion_time_matches_stats(self, run_rig):
+        result, pm, _sim = run_rig(heavy_light())
+        assert pm.completion_time("w") == result.stats["w"].completion_time
+
+
+class TestProgressCurve:
+    def test_curve_counts_wjob_tasks_only(self, run_rig):
+        wf = heavy_light()
+        result, _pm, _sim = run_rig(
+            wf, scheduler=WohaScheduler(), submission="woha", planner=make_planner()
+        )
+        curve = result.metrics.progress_curve("w")
+        # Final rho equals the wjob task count; submitter tasks excluded.
+        assert curve[-1][1] == wf.total_tasks
+
+    def test_curve_monotone_in_time_and_count(self, run_rig):
+        result, _pm, _sim = run_rig(heavy_light())
+        curve = result.metrics.progress_curve("w")
+        times = [t for t, _ in curve]
+        counts = [c for _, c in curve]
+        assert times == sorted(times)
+        assert counts == list(range(1, len(curve) + 1))
+
+    def test_requirement_at_time_wrapper(self):
+        from repro.core.plangen import generate_requirements
+
+        wf = heavy_light()
+        plan = generate_requirements(wf, cap=4)
+        deadline = 1000.0
+        # At the deadline, everything must be scheduled.
+        assert plan.requirement_at_time(deadline, deadline) == wf.total_tasks
+        # Before the plan's aligned start, nothing is required.
+        assert plan.requirement_at_time(deadline, deadline - plan.makespan - 1) == 0

@@ -1,0 +1,150 @@
+"""Cross-cutting property-based tests over the whole stack."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.capsearch import find_min_cap
+from repro.core.client import make_planner
+from repro.core.plangen import generate_requirements, simulate_makespan
+from repro.core.scheduler import NaiveWohaScheduler, WohaScheduler
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.workflow import dag
+from repro.workflow.xmlconfig import parse_workflow_xml, workflow_to_xml
+from repro.workloads.io import workflows_from_json, workflows_to_json
+
+from tests.strategies import workflows
+
+
+def small_cluster():
+    return ClusterConfig(
+        num_nodes=2, map_slots_per_node=2, reduce_slots_per_node=1, heartbeat_interval=float("inf")
+    )
+
+
+class TestSimulationProperties:
+    @given(workflows(), st.sampled_from(["fifo", "fair", "edf"]))
+    @settings(max_examples=40, deadline=None)
+    def test_baselines_complete_any_workflow_within_bounds(self, wf, which):
+        scheduler = {"fifo": FifoScheduler, "fair": FairScheduler, "edf": EdfScheduler}[which]()
+        sim = ClusterSimulation(small_cluster(), scheduler, submission="oozie")
+        sim.add_workflow(wf)
+        result = sim.run(max_events=200_000)
+        completion = result.stats["hw"].completion_time
+        assert completion < float("inf")
+        # Lower bound: the critical path (serial phase latencies).
+        assert completion >= dag.critical_path_length(wf) - 1e-6
+        # Upper bound: fully serial execution on one slot.
+        serial = sum(
+            j.num_maps * j.map_duration + j.num_reduces * j.reduce_duration for j in wf.jobs
+        )
+        assert completion <= serial + 1e-6
+        assert result.metrics.tasks_completed == wf.total_tasks
+
+    @given(workflows(with_deadline=True))
+    @settings(max_examples=25, deadline=None)
+    def test_woha_stack_completes_and_counts_submitters(self, wf):
+        sim = ClusterSimulation(
+            small_cluster(), WohaScheduler(), submission="woha", planner=make_planner("hlf")
+        )
+        sim.add_workflow(wf)
+        result = sim.run(max_events=200_000)
+        assert result.stats["hw"].completion_time < float("inf")
+        assert result.metrics.tasks_completed == wf.total_tasks + len(wf)
+
+    @given(workflows(with_deadline=True))
+    @settings(max_examples=20, deadline=None)
+    def test_dsl_and_naive_schedulers_agree(self, wf):
+        outcomes = []
+        for scheduler in (WohaScheduler(), NaiveWohaScheduler()):
+            sim = ClusterSimulation(
+                small_cluster(), scheduler, submission="woha", planner=make_planner("lpf")
+            )
+            sim.add_workflow(wf)
+            outcomes.append(sim.run(max_events=200_000).stats["hw"].completion_time)
+        assert outcomes[0] == outcomes[1]
+
+
+class TestSerializationProperties:
+    @given(workflows(with_deadline=True))
+    @settings(max_examples=50, deadline=None)
+    def test_xml_roundtrip(self, wf):
+        clone = parse_workflow_xml(workflow_to_xml(wf))
+        assert clone.job_names() == wf.job_names()
+        assert clone.deadline == wf.deadline
+        for name in wf.job_names():
+            assert clone.job(name).prerequisites == wf.job(name).prerequisites
+            assert clone.job(name).num_maps == wf.job(name).num_maps
+
+    @given(workflows(with_deadline=True))
+    @settings(max_examples=50, deadline=None)
+    def test_json_roundtrip(self, wf):
+        clone = workflows_from_json(workflows_to_json([wf]))[0]
+        assert clone.job_names() == wf.job_names()
+        assert clone.total_tasks == wf.total_tasks
+        assert clone.deadline == wf.deadline
+
+
+class TestPlanProperties:
+    @given(workflows(), st.integers(1, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_requirement_monotone_in_time(self, wf, cap):
+        plan = generate_requirements(wf, cap)
+        deadline = plan.makespan + 100.0
+        previous = -1
+        for step in range(0, 12):
+            t = step * (deadline / 10.0)
+            req = plan.requirement_at_time(deadline, t)
+            assert req >= previous
+            previous = req
+        assert previous == wf.total_tasks
+
+    @given(workflows())
+    @settings(max_examples=30, deadline=None)
+    def test_cap_search_minimality(self, wf):
+        deadline = simulate_makespan(wf, 4) * 1.1  # feasible at cap 4
+        result = find_min_cap(wf, max_slots=16, relative_deadline=deadline)
+        assert result.feasible
+        assert simulate_makespan(wf, result.cap) <= deadline
+        if result.cap > 1:
+            assert simulate_makespan(wf, result.cap - 1) > deadline
+
+    @given(workflows(), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_plan_serialization_roundtrip(self, wf, cap):
+        from repro.core.progress import ProgressPlan
+
+        plan = generate_requirements(wf, cap)
+        clone = ProgressPlan.from_bytes(plan.to_bytes())
+        assert clone.entries == plan.entries
+        assert clone.job_order == plan.job_order
+
+
+class TestDagProperties:
+    @given(workflows())
+    @settings(max_examples=60, deadline=None)
+    def test_levels_respect_edges(self, wf):
+        levels = dag.levels(wf)
+        for job in wf.jobs:
+            for dep in wf.dependents(job.name):
+                assert levels[job.name] > levels[dep]
+
+    @given(workflows())
+    @settings(max_examples=60, deadline=None)
+    def test_critical_path_weight_is_max(self, wf):
+        weights = dag.longest_path_weights(wf)
+        path = dag.critical_path(wf)
+        path_weight = sum(wf.job(n).serial_length for n in path)
+        assert path_weight == pytest.approx(max(weights.values()))
+
+    @given(workflows())
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounded_by_critical_path_and_serial(self, wf):
+        cp = dag.critical_path_length(wf)
+        serial = sum(j.serial_length * max(j.num_maps, j.num_reduces, 1) for j in wf.jobs)
+        makespan = simulate_makespan(wf, 4)
+        assert makespan >= cp - 1e-6

@@ -1,0 +1,111 @@
+"""Tests for the workflow-scheduler.xml plug-in registry."""
+
+import pytest
+
+from repro.core.scheduler import WohaScheduler
+from repro.registry import (
+    PLAN_GENERATOR_REGISTRY,
+    SCHEDULER_REGISTRY,
+    ConfigError,
+    parse_scheduler_config,
+    register_plan_generator,
+    register_scheduler,
+)
+from repro.schedulers.base import WorkflowScheduler
+from repro.schedulers.fifo import FifoScheduler
+
+
+class TestParse:
+    def test_default_woha_stack(self):
+        scheduler, planner = parse_scheduler_config(
+            "<workflow-scheduler><scheduler>woha-dsl</scheduler>"
+            "<plan-generator>lpf-capped</plan-generator></workflow-scheduler>"
+        )
+        assert isinstance(scheduler, WohaScheduler)
+        assert scheduler.queue_backend == "dsl"
+        assert callable(planner)
+
+    def test_baseline_without_planner(self):
+        scheduler, planner = parse_scheduler_config(
+            "<workflow-scheduler><scheduler>fifo</scheduler></workflow-scheduler>"
+        )
+        assert isinstance(scheduler, FifoScheduler)
+        assert planner is None
+
+    def test_two_line_swap(self):
+        """The paper's claim: switching implementations is a two-line edit."""
+        base = "<workflow-scheduler><scheduler>{}</scheduler><plan-generator>{}</plan-generator></workflow-scheduler>"
+        a, _ = parse_scheduler_config(base.format("woha-dsl", "hlf-capped"))
+        b, _ = parse_scheduler_config(base.format("woha-bst", "mpf-capped"))
+        assert a.queue_backend == "dsl" and b.queue_backend == "bst"
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scheduler"):
+            parse_scheduler_config(
+                "<workflow-scheduler><scheduler>magic</scheduler></workflow-scheduler>"
+            )
+
+    def test_unknown_planner_rejected(self):
+        with pytest.raises(ConfigError, match="unknown plan generator"):
+            parse_scheduler_config(
+                "<workflow-scheduler><scheduler>fifo</scheduler>"
+                "<plan-generator>magic</plan-generator></workflow-scheduler>"
+            )
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ConfigError, match="malformed"):
+            parse_scheduler_config("<workflow-scheduler><scheduler>")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ConfigError, match="root element"):
+            parse_scheduler_config("<config/>")
+
+    def test_missing_scheduler_rejected(self):
+        with pytest.raises(ConfigError, match="missing <scheduler>"):
+            parse_scheduler_config("<workflow-scheduler/>")
+
+
+class TestRegistration:
+    def test_register_custom_scheduler(self):
+        class MyScheduler(FifoScheduler):
+            pass
+
+        register_scheduler("my-sched-test", MyScheduler)
+        try:
+            scheduler, _ = parse_scheduler_config(
+                "<workflow-scheduler><scheduler>my-sched-test</scheduler></workflow-scheduler>"
+            )
+            assert isinstance(scheduler, MyScheduler)
+        finally:
+            del SCHEDULER_REGISTRY["my-sched-test"]
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            register_scheduler("fifo", FifoScheduler)
+
+    def test_replace_flag_allows_override(self):
+        original = SCHEDULER_REGISTRY["fifo"]
+        try:
+            register_scheduler("fifo", FifoScheduler, replace=True)
+        finally:
+            SCHEDULER_REGISTRY["fifo"] = original
+
+    def test_register_custom_planner(self):
+        register_plan_generator("null-test", lambda: None)
+        try:
+            _, planner = parse_scheduler_config(
+                "<workflow-scheduler><scheduler>fifo</scheduler>"
+                "<plan-generator>null-test</plan-generator></workflow-scheduler>"
+            )
+            assert planner is None
+        finally:
+            del PLAN_GENERATOR_REGISTRY["null-test"]
+
+    def test_all_registered_schedulers_instantiate(self):
+        for name, factory in SCHEDULER_REGISTRY.items():
+            assert isinstance(factory(), WorkflowScheduler), name
+
+    def test_all_registered_planners_instantiate(self):
+        for name, factory in PLAN_GENERATOR_REGISTRY.items():
+            planner = factory()
+            assert planner is None or callable(planner), name

@@ -1,0 +1,117 @@
+"""Tests for the dependency-free SVG chart renderer."""
+
+import math
+import re
+
+import pytest
+
+from repro.metrics.svgplot import PALETTE, GroupedBarChart, SvgChart, _log_ticks, _ticks
+
+
+class TestTicks:
+    def test_linear_ticks_cover_range(self):
+        ticks = _ticks(0.0, 10.0)
+        assert ticks[0] >= 0.0 and ticks[-1] <= 10.0
+        assert len(ticks) >= 3
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1  # uniform spacing
+
+    def test_linear_ticks_degenerate_range(self):
+        assert _ticks(5.0, 5.0)  # must not crash or loop forever
+
+    def test_log_ticks_powers_of_ten(self):
+        ticks = _log_ticks(100.0, 100_000.0)
+        assert ticks == [100.0, 1000.0, 10_000.0, 100_000.0]
+
+    def test_tick_fractional_ranges(self):
+        ticks = _ticks(0.0, 0.45)
+        assert all(0.0 <= t <= 0.45 for t in ticks)
+
+
+class TestSvgChart:
+    def test_render_contains_series_and_labels(self):
+        chart = SvgChart(title="T<est>", xlabel="x", ylabel="y")
+        chart.add_line([0, 1, 2], [0.0, 1.0, 4.0], label="quad")
+        svg = chart.render()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "polyline" in svg
+        assert "T&lt;est&gt;" in svg  # escaped title
+        assert "quad" in svg
+
+    def test_step_series_doubles_points(self):
+        chart = SvgChart()
+        chart.add_step([0, 1, 2], [1, 2, 3], label="s")
+        svg = chart.render()
+        points = re.search(r'polyline points="([^"]+)"', svg).group(1).split()
+        assert len(points) == 5  # 3 anchors + 2 step corners
+
+    def test_log_axes(self):
+        chart = SvgChart(xlog=True, ylog=True)
+        chart.add_line([10, 100, 1000], [5, 50, 500], label="l")
+        svg = chart.render()
+        assert "polyline" in svg
+
+    def test_mismatched_lengths_rejected(self):
+        chart = SvgChart()
+        with pytest.raises(ValueError):
+            chart.add_line([1, 2], [1], label="bad")
+
+    def test_empty_series_rejected(self):
+        chart = SvgChart()
+        with pytest.raises(ValueError):
+            chart.add_line([], [], label="bad")
+        with pytest.raises(ValueError):
+            chart.render()
+
+    def test_coordinates_within_viewbox(self):
+        chart = SvgChart(width=400, height=300)
+        chart.add_line([0, 50, 100], [0, 10, 5], label="l")
+        svg = chart.render()
+        points = re.search(r'polyline points="([^"]+)"', svg).group(1).split()
+        for pair in points:
+            x, y = map(float, pair.split(","))
+            assert 0 <= x <= 400
+            assert 0 <= y <= 300
+
+    def test_save_roundtrip(self, tmp_path):
+        chart = SvgChart()
+        chart.add_line([0, 1], [1, 2], label="l")
+        path = tmp_path / "c.svg"
+        chart.save(str(path))
+        assert path.read_text().startswith("<svg")
+
+
+class TestGroupedBarChart:
+    def test_render_bars_per_group_and_series(self):
+        chart = GroupedBarChart(title="bars")
+        chart.set_groups(["a", "b", "c"])
+        chart.add_series("s1", [1.0, 2.0, 3.0])
+        chart.add_series("s2", [3.0, 2.0, 1.0])
+        svg = chart.render()
+        # frame rect + legend rects (2) + data bars (6)
+        assert svg.count("<rect") >= 1 + 2 + 6
+        assert "s1" in svg and "s2" in svg
+
+    def test_value_count_mismatch_rejected(self):
+        chart = GroupedBarChart()
+        chart.set_groups(["a", "b"])
+        with pytest.raises(ValueError):
+            chart.add_series("s", [1.0])
+
+    def test_render_without_setup_rejected(self):
+        with pytest.raises(ValueError):
+            GroupedBarChart().render()
+
+    def test_zero_values_ok(self):
+        chart = GroupedBarChart()
+        chart.set_groups(["a"])
+        chart.add_series("s", [0.0])
+        assert "<svg" in chart.render()
+
+    def test_palette_cycles(self):
+        chart = GroupedBarChart()
+        chart.set_groups(["g"])
+        for i in range(len(PALETTE) + 2):
+            chart.add_series(f"s{i}", [float(i)])
+        assert "<svg" in chart.render()

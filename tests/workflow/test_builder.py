@@ -1,0 +1,91 @@
+"""Unit tests for the fluent WorkflowBuilder."""
+
+import pytest
+
+from repro.workflow.builder import WorkflowBuilder
+from repro.workflow.model import WorkflowValidationError
+
+
+class TestBuilder:
+    def test_basic_build(self):
+        w = (
+            WorkflowBuilder("w")
+            .job("a", maps=2, reduces=1, map_s=10, reduce_s=20)
+            .job("b", maps=1, reduces=0, map_s=5, after=["a"])
+            .build()
+        )
+        assert w.job_names() == ("a", "b")
+        assert w.prerequisites("b") == {"a"}
+
+    def test_after_unknown_job_rejected_eagerly(self):
+        builder = WorkflowBuilder("w").job("a", maps=1, reduces=0, map_s=1)
+        with pytest.raises(WorkflowValidationError, match="unknown job"):
+            builder.job("b", maps=1, reduces=0, map_s=1, after=["ghost"])
+
+    def test_duplicate_name_rejected(self):
+        builder = WorkflowBuilder("w").job("a", maps=1, reduces=0, map_s=1)
+        with pytest.raises(WorkflowValidationError, match="duplicate"):
+            builder.job("a", maps=1, reduces=0, map_s=1)
+
+    def test_chain_links_sequentially(self):
+        w = (
+            WorkflowBuilder("w")
+            .job("root", maps=1, reduces=0, map_s=1)
+            .chain(["c0", "c1", "c2"], maps=1, reduces=0, map_s=1, after=["root"])
+            .build()
+        )
+        assert w.prerequisites("c0") == {"root"}
+        assert w.prerequisites("c1") == {"c0"}
+        assert w.prerequisites("c2") == {"c1"}
+
+    def test_submit_and_relative_deadline(self):
+        w = (
+            WorkflowBuilder("w")
+            .job("a", maps=1, reduces=0, map_s=1)
+            .submit_at(100.0)
+            .deadline(relative=50.0)
+            .build()
+        )
+        assert w.submit_time == 100.0
+        assert w.deadline == 150.0
+
+    def test_absolute_deadline(self):
+        w = (
+            WorkflowBuilder("w")
+            .job("a", maps=1, reduces=0, map_s=1)
+            .deadline(absolute=77.0)
+            .build()
+        )
+        assert w.deadline == 77.0
+
+    def test_deadline_requires_exactly_one_form(self):
+        builder = WorkflowBuilder("w").job("a", maps=1, reduces=0, map_s=1)
+        with pytest.raises(WorkflowValidationError):
+            builder.deadline()
+        with pytest.raises(WorkflowValidationError):
+            builder.deadline(absolute=1.0, relative=1.0)
+
+    def test_no_deadline_is_best_effort(self):
+        w = WorkflowBuilder("w").job("a", maps=1, reduces=0, map_s=1).build()
+        assert w.deadline is None
+
+    def test_job_metadata_passthrough(self):
+        w = (
+            WorkflowBuilder("w")
+            .job(
+                "a",
+                maps=1,
+                reduces=0,
+                map_s=1,
+                inputs=["/in"],
+                outputs=["/out"],
+                jar_path="/jars/a.jar",
+                main_class="com.x.A",
+            )
+            .build()
+        )
+        job = w.job("a")
+        assert job.inputs == ("/in",)
+        assert job.outputs == ("/out",)
+        assert job.jar_path == "/jars/a.jar"
+        assert job.main_class == "com.x.A"

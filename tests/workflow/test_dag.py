@@ -1,0 +1,116 @@
+"""Unit tests for DAG utilities (levels, longest paths, closures)."""
+
+import pytest
+
+from repro.workflow import dag
+from repro.workflow.model import WJob, Workflow
+
+
+def wjob(name, pre=(), map_s=10.0, reduce_s=20.0):
+    return WJob(
+        name=name,
+        num_maps=1,
+        num_reduces=1,
+        map_duration=map_s,
+        reduce_duration=reduce_s,
+        prerequisites=frozenset(pre),
+    )
+
+
+@pytest.fixture
+def chain():
+    return Workflow("c", [wjob("a"), wjob("b", pre=("a",)), wjob("c", pre=("b",))])
+
+
+@pytest.fixture
+def diamond():
+    return Workflow(
+        "d",
+        [wjob("a"), wjob("b", pre=("a",)), wjob("c", pre=("a",)), wjob("d", pre=("b", "c"))],
+    )
+
+
+class TestLevels:
+    def test_chain_levels_count_down_to_sink(self, chain):
+        assert dag.levels(chain) == {"a": 2, "b": 1, "c": 0}
+
+    def test_diamond_levels(self, diamond):
+        assert dag.levels(diamond) == {"a": 2, "b": 1, "c": 1, "d": 0}
+
+    def test_height(self, chain, diamond):
+        assert dag.height(chain) == 3
+        assert dag.height(diamond) == 3
+
+    def test_independent_jobs_all_level_zero(self):
+        w = Workflow("w", [wjob("a"), wjob("b"), wjob("c")])
+        assert set(dag.levels(w).values()) == {0}
+
+
+class TestLongestPath:
+    def test_chain_weights_accumulate(self, chain):
+        weights = dag.longest_path_weights(chain)
+        assert weights["c"] == 30.0
+        assert weights["b"] == 60.0
+        assert weights["a"] == 90.0
+
+    def test_weight_picks_heavier_branch(self):
+        w = Workflow(
+            "w",
+            [
+                wjob("a"),
+                wjob("heavy", pre=("a",), map_s=100.0, reduce_s=100.0),
+                wjob("light", pre=("a",), map_s=1.0, reduce_s=1.0),
+                wjob("z", pre=("heavy", "light")),
+            ],
+        )
+        weights = dag.longest_path_weights(w)
+        assert weights["a"] == 30.0 + 200.0 + 30.0
+
+    def test_critical_path_follows_heavy_branch(self):
+        w = Workflow(
+            "w",
+            [
+                wjob("a"),
+                wjob("heavy", pre=("a",), map_s=100.0, reduce_s=100.0),
+                wjob("light", pre=("a",), map_s=1.0, reduce_s=1.0),
+                wjob("z", pre=("heavy", "light")),
+            ],
+        )
+        assert dag.critical_path(w) == ("a", "heavy", "z")
+
+    def test_critical_path_length_is_max_weight(self, diamond):
+        assert dag.critical_path_length(diamond) == 90.0
+
+    def test_critical_path_is_a_real_path(self, diamond):
+        path = dag.critical_path(diamond)
+        for pre, job in zip(path, path[1:]):
+            assert pre in diamond.prerequisites(job)
+
+
+class TestClosures:
+    def test_ancestors(self, diamond):
+        assert dag.ancestors(diamond, "d") == {"a", "b", "c"}
+        assert dag.ancestors(diamond, "a") == frozenset()
+
+    def test_descendants(self, diamond):
+        assert dag.descendants(diamond, "a") == {"b", "c", "d"}
+        assert dag.descendants(diamond, "d") == frozenset()
+
+    def test_closures_are_consistent(self, diamond):
+        for job in diamond.job_names():
+            for anc in dag.ancestors(diamond, job):
+                assert job in dag.descendants(diamond, anc)
+
+
+class TestShapePredicates:
+    def test_is_chain(self, chain, diamond):
+        assert dag.is_chain(chain)
+        assert not dag.is_chain(diamond)
+
+    def test_width_profile(self, diamond):
+        # top (level 2) has 1 job, level 1 has 2, level 0 has 1
+        assert dag.width_profile(diamond) == [1, 2, 1]
+
+    def test_width_profile_sums_to_job_count(self, chain, diamond):
+        assert sum(dag.width_profile(chain)) == len(chain)
+        assert sum(dag.width_profile(diamond)) == len(diamond)

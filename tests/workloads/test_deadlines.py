@@ -1,0 +1,61 @@
+"""Unit tests for deadline assignment."""
+
+import pytest
+
+from repro.core.plangen import simulate_makespan
+from repro.workflow.builder import WorkflowBuilder
+from repro.workloads.deadlines import assign_deadlines, stretch_deadline
+
+
+def wf(name="w", submit=0.0):
+    return (
+        WorkflowBuilder(name)
+        .job("a", maps=4, reduces=2, map_s=10, reduce_s=20)
+        .submit_at(submit)
+        .build()
+    )
+
+
+class TestStretchDeadline:
+    def test_deadline_is_stretched_makespan(self):
+        w = wf(submit=100.0)
+        stretched = stretch_deadline(w, reference_slots=4, stretch=2.0)
+        expected = 100.0 + 2.0 * simulate_makespan(w, 4)
+        assert stretched.deadline == pytest.approx(expected)
+        assert stretched.submit_time == 100.0
+
+    def test_stretch_one_is_exact_makespan(self):
+        w = wf()
+        stretched = stretch_deadline(w, reference_slots=8, stretch=1.0)
+        assert stretched.relative_deadline == pytest.approx(simulate_makespan(w, 8))
+
+    def test_nonpositive_stretch_rejected(self):
+        with pytest.raises(ValueError):
+            stretch_deadline(wf(), reference_slots=4, stretch=0.0)
+
+    def test_original_untouched(self):
+        w = wf()
+        stretch_deadline(w, reference_slots=4, stretch=2.0)
+        assert w.deadline is None
+
+
+class TestAssignDeadlines:
+    def test_all_get_deadlines_in_range(self):
+        wfs = [wf(f"w{i}", submit=float(i)) for i in range(10)]
+        out = assign_deadlines(wfs, reference_slots=4, stretch_range=(1.5, 2.5), seed=1)
+        for original, assigned in zip(wfs, out):
+            makespan = simulate_makespan(original, 4)
+            rel = assigned.relative_deadline
+            assert 1.5 * makespan - 1e-9 <= rel <= 2.5 * makespan + 1e-9
+
+    def test_seeded_determinism(self):
+        wfs = [wf(f"w{i}") for i in range(5)]
+        a = assign_deadlines(wfs, 4, seed=3)
+        b = assign_deadlines(wfs, 4, seed=3)
+        assert [x.deadline for x in a] == [x.deadline for x in b]
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            assign_deadlines([wf()], 4, stretch_range=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            assign_deadlines([wf()], 4, stretch_range=(0.0, 1.0))

@@ -1,0 +1,94 @@
+"""Tests that the fitted distributions hit the paper's published anchors
+(Figs 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import TraceDistributions, cdf_points
+
+
+@pytest.fixture(scope="module")
+def big_sample():
+    dist = TraceDistributions(seed=123)
+    return dist.sample_jobs(4000)
+
+
+class TestPaperAnchors:
+    """Each anchor quotes §V-A's description of the WebScope marginals."""
+
+    def test_most_mappers_between_10_and_100s(self, big_sample):
+        durations = np.array([j.map_duration for j in big_sample])
+        frac = np.mean((durations >= 10.0) & (durations <= 100.0))
+        assert frac > 0.6
+
+    def test_over_half_of_reducers_above_100s(self, big_sample):
+        durations = np.array([j.reduce_duration for j in big_sample if j.num_reduces > 0])
+        assert np.mean(durations > 100.0) > 0.5
+
+    def test_about_ten_percent_reducers_above_1000s(self, big_sample):
+        durations = np.array([j.reduce_duration for j in big_sample if j.num_reduces > 0])
+        assert 0.04 < np.mean(durations > 1000.0) < 0.18
+
+    def test_about_thirty_percent_jobs_over_100_mappers(self, big_sample):
+        counts = np.array([j.num_maps for j in big_sample])
+        assert 0.2 < np.mean(counts > 100) < 0.4
+
+    def test_over_sixty_percent_jobs_under_10_reducers(self, big_sample):
+        counts = np.array([j.num_reduces for j in big_sample])
+        assert np.mean(counts < 10) > 0.6
+
+    def test_mappers_usually_outnumber_reducers(self, big_sample):
+        ratio_gt_one = np.mean([j.num_maps > j.num_reduces for j in big_sample])
+        assert ratio_gt_one > 0.75
+
+    def test_reducers_take_longer_than_mappers(self, big_sample):
+        with_reduce = [j for j in big_sample if j.num_reduces > 0]
+        frac = np.mean([j.reduce_duration > j.map_duration for j in with_reduce])
+        assert frac > 0.7
+
+
+class TestSampler:
+    def test_seed_reproducibility(self):
+        a = TraceDistributions(seed=7).sample_jobs(50)
+        b = TraceDistributions(seed=7).sample_jobs(50)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = TraceDistributions(seed=7).sample_jobs(50)
+        b = TraceDistributions(seed=8).sample_jobs(50)
+        assert a != b
+
+    def test_scale_shrinks_counts_not_durations(self):
+        full = TraceDistributions(seed=7).sample_jobs(200, scale=1.0)
+        small = TraceDistributions(seed=7).sample_jobs(200, scale=0.25)
+        assert sum(j.num_maps for j in small) < sum(j.num_maps for j in full)
+        # Same RNG stream -> identical durations.
+        assert [j.map_duration for j in small] == [j.map_duration for j in full]
+
+    def test_clip_parameters_respected(self):
+        dist = TraceDistributions(seed=7, max_maps=50, max_reduces=5)
+        jobs = dist.sample_jobs(500)
+        assert max(j.num_maps for j in jobs) <= 50
+        assert max(j.num_reduces for j in jobs) <= 5
+
+    def test_every_job_has_at_least_one_task(self):
+        jobs = TraceDistributions(seed=9).sample_jobs(500)
+        assert all(j.num_maps + j.num_reduces >= 1 for j in jobs)
+
+    def test_map_only_jobs_have_zero_reduce_duration(self):
+        jobs = TraceDistributions(seed=9).sample_jobs(500)
+        for j in jobs:
+            if j.num_reduces == 0:
+                assert j.reduce_duration == 0.0
+
+
+class TestCdfPoints:
+    def test_cdf_basic(self):
+        points = cdf_points([1.0, 2.0, 3.0, 4.0], [0.5, 2.0, 2.5, 10.0])
+        assert points == [(0.5, 0.0), (2.0, 0.5), (2.5, 0.5), (10.0, 1.0)]
+
+    def test_cdf_monotone(self):
+        values = TraceDistributions(seed=5).sample_jobs(300)
+        cdf = cdf_points([j.map_duration for j in values], [10, 30, 100, 300, 1000])
+        fracs = [f for _, f in cdf]
+        assert fracs == sorted(fracs)

@@ -1,0 +1,74 @@
+"""Tests for recurrent workflow expansion."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import ClusterSimulation
+from repro.schedulers.fifo import FifoScheduler
+from repro.workflow.builder import WorkflowBuilder
+from repro.workloads.recurrence import Recurrence, expand_recurrences
+
+
+@pytest.fixture
+def template():
+    return (
+        WorkflowBuilder("hourly")
+        .job("a", maps=2, reduces=1, map_s=10, reduce_s=20)
+        .deadline(relative=200)
+        .build()
+    )
+
+
+class TestExpansion:
+    def test_instances_named_and_timed(self, template):
+        instances = expand_recurrences(template, Recurrence(period=3600.0, count=3))
+        assert [w.name for w in instances] == ["hourly@0", "hourly@1", "hourly@2"]
+        assert [w.submit_time for w in instances] == [0.0, 3600.0, 7200.0]
+
+    def test_deadlines_shift_with_release(self, template):
+        instances = expand_recurrences(template, Recurrence(period=100.0, count=2))
+        assert instances[0].deadline == 200.0
+        assert instances[1].deadline == 300.0
+
+    def test_override_relative_deadline(self, template):
+        instances = expand_recurrences(
+            template, Recurrence(period=100.0, count=2, relative_deadline=50.0)
+        )
+        assert instances[1].deadline == 150.0
+
+    def test_best_effort_template_stays_best_effort(self):
+        template = WorkflowBuilder("t").job("a", maps=1, reduces=0, map_s=1).build()
+        instances = expand_recurrences(template, Recurrence(period=10.0, count=2))
+        assert all(w.deadline is None for w in instances)
+
+    def test_start_offset(self, template):
+        instances = expand_recurrences(template, Recurrence(period=10.0, count=2, start=500.0))
+        assert [w.submit_time for w in instances] == [500.0, 510.0]
+
+    def test_topology_preserved(self, template):
+        instances = expand_recurrences(template, Recurrence(period=10.0, count=2))
+        assert all(w.job_names() == template.job_names() for w in instances)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Recurrence(period=0.0, count=1)
+        with pytest.raises(ValueError):
+            Recurrence(period=1.0, count=0)
+        with pytest.raises(ValueError):
+            Recurrence(period=1.0, count=1, relative_deadline=-5.0)
+
+
+class TestRecurrentSimulation:
+    def test_instances_run_independently(self, template):
+        config = ClusterConfig(
+            num_nodes=2, map_slots_per_node=2, reduce_slots_per_node=1, heartbeat_interval=float("inf")
+        )
+        sim = ClusterSimulation(config, FifoScheduler(), submission="oozie")
+        sim.add_workflows(expand_recurrences(template, Recurrence(period=100.0, count=3)))
+        result = sim.run()
+        assert len(result.stats) == 3
+        # Period (100 s) exceeds the instance makespan (30 s): no overlap,
+        # identical workspans.
+        spans = [result.stats[f"hourly@{k}"].workspan for k in range(3)]
+        assert spans[0] == spans[1] == spans[2]
+        assert result.miss_ratio == 0.0

@@ -1,0 +1,103 @@
+"""Unit tests for topology constructors."""
+
+import numpy as np
+import pytest
+
+from repro.workflow import dag
+from repro.workloads.distributions import TraceDistributions
+from repro.workloads.topologies import (
+    FIG11_DURATION_SCALE,
+    chain_workflow,
+    diamond_workflow,
+    fanout_workflow,
+    fig7_topology,
+    fig11_workflows,
+    random_dag_workflow,
+)
+
+
+class TestFig7:
+    def test_exactly_33_jobs(self):
+        assert len(fig7_topology()) == 33
+
+    def test_single_source_single_sink(self):
+        w = fig7_topology()
+        assert w.roots() == ("src",)
+        assert w.sinks() == ("sink",)
+
+    def test_duration_scale_scales_work(self):
+        base = fig7_topology("a", duration_scale=1.0)
+        double = fig7_topology("b", duration_scale=2.0)
+        assert double.total_work == pytest.approx(2 * base.total_work)
+        assert double.total_tasks == base.total_tasks
+
+    def test_deadline_attached(self):
+        w = fig7_topology(submit_time=100.0, relative_deadline=500.0)
+        assert w.deadline == 600.0
+
+    def test_structure_has_forks_and_joins(self):
+        w = fig7_topology()
+        assert len(w.dependents("prep2")) == 4  # four branches
+        assert len(w.prerequisites("sink")) == 5  # m1, m2 + 3 sides
+
+
+class TestFig11Set:
+    def test_three_workflows_paper_timing(self):
+        wfs = fig11_workflows()
+        assert [w.submit_time for w in wfs] == [0.0, 300.0, 600.0]
+        assert [w.deadline - w.submit_time for w in wfs] == [4800.0, 4200.0, 3600.0]
+        assert all(len(w) == 33 for w in wfs)
+
+    def test_later_release_earlier_absolute_deadline_ordering(self):
+        wfs = fig11_workflows()
+        absolute = [w.deadline for w in wfs]
+        assert absolute == sorted(absolute, reverse=True)
+
+    def test_default_scale(self):
+        wfs = fig11_workflows()
+        reference = fig7_topology(duration_scale=FIG11_DURATION_SCALE)
+        assert wfs[0].total_work == pytest.approx(reference.total_work)
+
+
+class TestParametricFamilies:
+    def test_chain(self):
+        w = chain_workflow("c", length=5)
+        assert len(w) == 5
+        assert dag.is_chain(w)
+
+    def test_chain_length_one(self):
+        assert len(chain_workflow("c", length=1)) == 1
+
+    def test_chain_invalid_length(self):
+        with pytest.raises(ValueError):
+            chain_workflow("c", length=0)
+
+    def test_fanout(self):
+        w = fanout_workflow("f", width=6)
+        assert len(w) == 8
+        assert len(w.dependents("src")) == 6
+        assert len(w.prerequisites("sink")) == 6
+
+    def test_diamond(self):
+        w = diamond_workflow()
+        assert len(w) == 4
+        assert dag.height(w) == 3
+
+    def test_random_dag_valid_and_seeded(self):
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        dist1 = TraceDistributions(seed=1)
+        dist2 = TraceDistributions(seed=1)
+        w1 = random_dag_workflow("r", 10, rng1, dist1)
+        w2 = random_dag_workflow("r", 10, rng2, dist2)
+        assert [j.prerequisites for j in w1.jobs] == [j.prerequisites for j in w2.jobs]
+        assert w1.total_tasks == w2.total_tasks
+
+    def test_random_dag_respects_max_parents(self):
+        rng = np.random.default_rng(5)
+        w = random_dag_workflow("r", 30, rng, edge_prob=1.0, max_parents=2)
+        assert all(len(j.prerequisites) <= 2 for j in w.jobs)
+
+    def test_random_dag_single_job(self):
+        rng = np.random.default_rng(5)
+        assert len(random_dag_workflow("r", 1, rng)) == 1

@@ -1,0 +1,90 @@
+"""Tests for the Yahoo!-like workflow-set generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.yahoo import (
+    YahooTraceConfig,
+    generate_job_trace,
+    generate_yahoo_workflows,
+    partition_jobs,
+)
+
+
+class TestComposition:
+    """The paper's published numbers: 180 jobs, 61 workflows, 15 singletons,
+    largest workflow 12 jobs."""
+
+    def test_default_composition(self):
+        wfs = generate_yahoo_workflows()
+        assert len(wfs) == 61
+        assert sum(len(w) for w in wfs) == 180
+        assert sum(1 for w in wfs if len(w) == 1) == 15
+        assert max(len(w) for w in wfs) <= 12
+
+    def test_drop_single_job_filters_only_singletons(self):
+        full = generate_yahoo_workflows(YahooTraceConfig())
+        filtered = generate_yahoo_workflows(YahooTraceConfig(drop_single_job=True))
+        assert len(filtered) == 46
+        kept = {w.name for w in filtered}
+        for w in full:
+            assert (w.name in kept) == (len(w) > 1)
+
+    def test_deterministic_by_seed(self):
+        a = generate_yahoo_workflows(YahooTraceConfig(seed=5))
+        b = generate_yahoo_workflows(YahooTraceConfig(seed=5))
+        assert [(w.name, w.submit_time, w.deadline, w.total_tasks) for w in a] == [
+            (w.name, w.submit_time, w.deadline, w.total_tasks) for w in b
+        ]
+
+    def test_different_seed_different_set(self):
+        a = generate_yahoo_workflows(YahooTraceConfig(seed=5))
+        b = generate_yahoo_workflows(YahooTraceConfig(seed=6))
+        assert [w.total_tasks for w in a] != [w.total_tasks for w in b]
+
+    def test_partition_infeasible_configs_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            partition_jobs(YahooTraceConfig(num_workflows=10, total_jobs=9, num_single_job=10), rng)
+        with pytest.raises(ValueError):
+            partition_jobs(
+                YahooTraceConfig(num_workflows=16, total_jobs=500, num_single_job=15, max_workflow_size=12),
+                rng,
+            )
+
+
+class TestTiming:
+    def test_submissions_within_window_and_sorted(self):
+        config = YahooTraceConfig(submission_window=600.0)
+        wfs = generate_yahoo_workflows(config)
+        times = [w.submit_time for w in wfs]
+        assert all(0.0 <= t <= 600.0 for t in times)
+        assert times == sorted(times)
+
+    def test_every_workflow_has_deadline(self):
+        wfs = generate_yahoo_workflows()
+        assert all(w.deadline is not None and w.deadline > w.submit_time for w in wfs)
+
+    def test_stretch_range_bounds_deadlines(self):
+        from repro.core.plangen import simulate_makespan
+
+        config = YahooTraceConfig(stretch_range=(2.0, 2.0))  # fixed stretch
+        wfs = generate_yahoo_workflows(config)
+        for w in wfs[:8]:
+            makespan = simulate_makespan(w, config.reference_slots)
+            assert w.deadline == pytest.approx(w.submit_time + 2.0 * makespan)
+
+
+class TestJobTrace:
+    def test_size_and_determinism(self):
+        a = generate_job_trace(num_jobs=100, seed=3)
+        b = generate_job_trace(num_jobs=100, seed=3)
+        assert len(a) == 100
+        assert a == b
+
+    def test_task_caps_applied(self):
+        wfs = generate_yahoo_workflows(YahooTraceConfig(max_maps_per_job=40, max_reduces_per_job=4, task_scale=1.0))
+        for w in wfs:
+            for j in w.jobs:
+                assert j.num_maps <= 40
+                assert j.num_reduces <= 4
