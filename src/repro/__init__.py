@@ -47,6 +47,8 @@ from repro.core.progress import ProgressEntry, ProgressPlan
 from repro.core.scheduler import NaiveWohaScheduler, WohaScheduler
 from repro.events import Simulator
 from repro.hdfs import HdfsNamespace
+from repro.metrics.postmortem import MissExplanation, explain_miss
+from repro.trace import DecisionTracer, read_jsonl
 from repro.schedulers.edf import EdfScheduler
 from repro.schedulers.fair import FairScheduler
 from repro.schedulers.fifo import FifoScheduler
@@ -87,6 +89,10 @@ __all__ = [
     "NaiveWohaScheduler",
     "Simulator",
     "HdfsNamespace",
+    "MissExplanation",
+    "explain_miss",
+    "DecisionTracer",
+    "read_jsonl",
     "EdfScheduler",
     "FairScheduler",
     "FifoScheduler",

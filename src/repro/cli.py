@@ -10,6 +10,9 @@ Commands:
   metrics.
 * ``trace`` — generate the Yahoo!-like workflow set to a JSON file for
   later replay.
+* ``trace-decisions`` — run a scenario with decision tracing on and dump
+  the scheduler's decision log as JSONL (optionally explaining one
+  workflow's deadline miss from it).
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.simulation import ClusterSimulation
 from repro.core.client import make_planner
 from repro.core.scheduler import NaiveWohaScheduler, WohaScheduler
+from repro.metrics.postmortem import explain_miss
 from repro.metrics.report import format_table
 from repro.schedulers.edf import EdfScheduler
 from repro.schedulers.fair import FairScheduler
@@ -34,6 +38,43 @@ from repro.workloads.yahoo import YahooTraceConfig, generate_yahoo_workflows
 __all__ = ["main", "build_parser"]
 
 SCHEDULERS = ("fifo", "fair", "edf", "woha-hlf", "woha-lpf", "woha-mpf")
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by every subcommand that runs a simulation."""
+    parser.add_argument("inputs", nargs="*", help="workflow XML files")
+    parser.add_argument("--trace", help="JSON workflow-set file (repro trace command output)")
+    parser.add_argument("--scheduler", choices=SCHEDULERS, default="woha-lpf")
+    parser.add_argument("--nodes", type=int, default=32)
+    parser.add_argument("--map-slots", type=int, default=2, help="map slots per node")
+    parser.add_argument("--reduce-slots", type=int, default=1, help="reduce slots per node")
+    parser.add_argument("--heartbeat", type=float, default=0.0,
+                        help="heartbeat interval in seconds; 0 = event-driven (default)")
+    parser.add_argument("--pool", choices=("pooled", "split"), default="pooled")
+
+
+def _load_scenario(args: argparse.Namespace) -> List[Workflow]:
+    """Collect the scenario's workflows from XML files and/or a JSON set."""
+    workflows: List[Workflow] = []
+    for path in args.inputs:
+        with open(path) as fh:
+            workflows.append(parse_workflow_xml(fh.read()))
+    if args.trace:
+        workflows.extend(load_workflows(args.trace))
+    return workflows
+
+
+def _build_simulation(args: argparse.Namespace, trace=False) -> ClusterSimulation:
+    """Construct the ClusterSimulation a scenario subcommand describes."""
+    heartbeat = args.heartbeat if args.heartbeat > 0 else float("inf")
+    config = ClusterConfig(
+        num_nodes=args.nodes,
+        map_slots_per_node=args.map_slots,
+        reduce_slots_per_node=args.reduce_slots,
+        heartbeat_interval=heartbeat,
+    )
+    scheduler, mode, planner = _make_scheduler(args.scheduler, args.pool)
+    return ClusterSimulation(config, scheduler, submission=mode, planner=planner, trace=trace)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,15 +96,20 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--entries", type=int, default=10, help="how many plan steps to print")
 
     simulate = sub.add_parser("simulate", help="run workflows on a simulated cluster")
-    simulate.add_argument("inputs", nargs="*", help="workflow XML files")
-    simulate.add_argument("--trace", help="JSON workflow-set file (repro trace command output)")
-    simulate.add_argument("--scheduler", choices=SCHEDULERS, default="woha-lpf")
-    simulate.add_argument("--nodes", type=int, default=32)
-    simulate.add_argument("--map-slots", type=int, default=2, help="map slots per node")
-    simulate.add_argument("--reduce-slots", type=int, default=1, help="reduce slots per node")
-    simulate.add_argument("--heartbeat", type=float, default=0.0,
-                          help="heartbeat interval in seconds; 0 = event-driven (default)")
-    simulate.add_argument("--pool", choices=("pooled", "split"), default="pooled")
+    _add_scenario_args(simulate)
+
+    decisions = sub.add_parser(
+        "trace-decisions",
+        help="replay a scenario with decision tracing and dump the log as JSONL",
+    )
+    _add_scenario_args(decisions)
+    decisions.add_argument("--out", help="JSONL output path (default: stdout)")
+    decisions.add_argument("--ring", type=int, default=0,
+                           help="ring-buffer capacity; 0 = keep every event (default)")
+    decisions.add_argument("--explain", metavar="WORKFLOW",
+                           help="attribute WORKFLOW's deadline miss from the trace")
+    decisions.add_argument("--counters", action="store_true",
+                           help="print the per-scheduler decision counters")
 
     trace = sub.add_parser("trace", help="generate the Yahoo!-like workflow set")
     trace.add_argument("--out", required=True, help="output JSON path")
@@ -113,24 +159,11 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    workflows: List[Workflow] = []
-    for path in args.inputs:
-        with open(path) as fh:
-            workflows.append(parse_workflow_xml(fh.read()))
-    if args.trace:
-        workflows.extend(load_workflows(args.trace))
+    workflows = _load_scenario(args)
     if not workflows:
         print("no workflows given (pass XML files and/or --trace)", file=sys.stderr)
         return 2
-    heartbeat = args.heartbeat if args.heartbeat > 0 else float("inf")
-    config = ClusterConfig(
-        num_nodes=args.nodes,
-        map_slots_per_node=args.map_slots,
-        reduce_slots_per_node=args.reduce_slots,
-        heartbeat_interval=heartbeat,
-    )
-    scheduler, mode, planner = _make_scheduler(args.scheduler, args.pool)
-    sim = ClusterSimulation(config, scheduler, submission=mode, planner=planner)
+    sim = _build_simulation(args)
     sim.add_workflows(workflows)
     result = sim.run()
     rows = [
@@ -142,7 +175,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(format_table(
         ["workflow", "submit", "finish", "workspan", "deadline", "met"],
         rows,
-        title=f"{args.scheduler} on {config.total_map_slots}m-{config.total_reduce_slots}r",
+        title=f"{args.scheduler} on {sim.config.total_map_slots}m-{sim.config.total_reduce_slots}r",
         float_fmt="{:.1f}",
     ))
     print(
@@ -170,6 +203,41 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_decisions(args: argparse.Namespace) -> int:
+    workflows = _load_scenario(args)
+    if not workflows:
+        print("no workflows given (pass XML files and/or --trace)", file=sys.stderr)
+        return 2
+    if args.ring < 0:
+        print(f"--ring must be >= 0, got {args.ring}", file=sys.stderr)
+        return 2
+    capacity = args.ring if args.ring > 0 else True
+    sim = _build_simulation(args, trace=capacity)
+    sim.add_workflows(workflows)
+    result = sim.run()
+    tracer = result.tracer
+    if args.out:
+        with open(args.out, "w") as fh:
+            written = tracer.to_jsonl(fh)
+        print(f"wrote {written} events to {args.out}"
+              + (f" ({tracer.dropped} dropped by the ring)" if tracer.dropped else ""),
+              file=sys.stderr)
+    else:
+        sys.stdout.write(tracer.dumps_jsonl())
+    if args.counters:
+        for scheduler, counters in sorted(result.metrics.scheduler_counters.items()):
+            print(f"\ncounters [{scheduler}]:", file=sys.stderr)
+            for name, value in sorted(counters.items()):
+                print(f"  {name:22s} {value:g}", file=sys.stderr)
+    if args.explain:
+        if args.explain not in result.stats:
+            print(f"unknown workflow {args.explain!r}", file=sys.stderr)
+            return 2
+        print(file=sys.stderr)
+        print(explain_miss(tracer, args.explain).summary(), file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "plan":
@@ -178,6 +246,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "trace-decisions":
+        return _cmd_trace_decisions(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

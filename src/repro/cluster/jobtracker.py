@@ -17,7 +17,8 @@ clients; dependency bookkeeping is O(edges) counter decrements.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Union
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.job import JobInProgress, SubmitterJob
@@ -25,6 +26,7 @@ from repro.cluster.tasks import Task, TaskKind
 from repro.cluster.tasktracker import TaskTracker
 from repro.events import Simulator
 from repro.schedulers.base import WorkflowScheduler
+from repro.trace import NULL_TRACER, DecisionTracer, NullTracer
 from repro.workflow.model import Workflow
 
 __all__ = ["WorkflowInProgress", "JobTracker"]
@@ -135,11 +137,27 @@ class JobTracker:
         self._listeners: List[object] = []
         self._in_round = False
         self.speculator = None  # optional SpeculationManager
+        self.tracer: Union[DecisionTracer, NullTracer] = NULL_TRACER
+        # Free-up timestamps per slot pool (True = map pool), consumed
+        # FIFO by launches to derive slot-idle ("assignment latency")
+        # counters.  Only maintained while a tracer is attached.
+        self._free_since: Dict[bool, Deque[float]] = {True: deque(), False: deque()}
         scheduler.bind(self)
 
     def attach_speculator(self, speculator: object) -> None:
         """Enable speculative execution (see :mod:`repro.cluster.speculation`)."""
         self.speculator = speculator
+
+    def attach_tracer(self, tracer: Union[DecisionTracer, NullTracer]) -> None:
+        """Record decision/slot events into ``tracer`` (and via the
+        scheduler, which gets the same tracer from ClusterSimulation).
+
+        The tracer is also registered as a listener so workflow lifecycle
+        events land in the same log.
+        """
+        self.tracer = tracer
+        if tracer.enabled:
+            self.add_listener(tracer)
 
     # -- listeners ---------------------------------------------------------
 
@@ -310,6 +328,25 @@ class JobTracker:
         else:
             self._free_reduces -= 1
         task.launch_time = self.sim.now
+        if self.tracer.enabled:
+            # Slot-idle gap: seconds since the consumed pool's oldest
+            # free-up.  Slots free at simulation start have no recorded
+            # free-up, so their first assignment carries wait=None.
+            pool = self._free_since[task.kind.uses_map_slot]
+            wait = self.sim.now - pool.popleft() if pool else None
+            self.tracer.incr(self.scheduler.name, "assignments")
+            if wait is not None:
+                self.tracer.incr(self.scheduler.name, "assign_wait_seconds", wait)
+                self.tracer.incr(self.scheduler.name, "assign_wait_samples")
+            self.tracer.record(
+                "assign",
+                self.sim.now,
+                workflow=task.workflow_name,
+                task=task.task_id,
+                slot_kind=task.kind.value,
+                tracker=tracker.tracker_id,
+                wait=wait,
+            )
         if task.kind is not TaskKind.SUBMIT and task.workflow_name is not None and not task.speculative:
             # Backup attempts duplicate an index already counted in rho.
             self.workflows[task.workflow_name].scheduled_tasks += 1
@@ -330,6 +367,8 @@ class JobTracker:
         else:
             self._free_reduces += 1
         task.finish_time = now
+        if self.tracer.enabled:
+            self._trace_slot_free(task, now)
         if self.speculator is not None:
             # This attempt committed; retire any sibling attempts first so
             # the logical task is accounted exactly once.
@@ -359,8 +398,23 @@ class JobTracker:
                 self._free_maps += 1
             else:
                 self._free_reduces += 1
+            if self.tracer.enabled:
+                self._trace_slot_free(task, self.sim.now)
         task.job.on_attempt_killed(task)
         self._notify("on_task_lost", task, self.sim.now)
+
+    def _trace_slot_free(self, task: Task, now: float) -> None:
+        """Record a slot returning to the pool (tracer attached only)."""
+        uses_map = task.kind.uses_map_slot
+        self._free_since[uses_map].append(now)
+        self.tracer.incr(self.scheduler.name, "slot_frees")
+        self.tracer.record(
+            "slot_free",
+            now,
+            slot_kind="map" if uses_map else "reduce",
+            workflow=task.workflow_name,
+            free=self._free_maps if uses_map else self._free_reduces,
+        )
 
     # -- failure handling ------------------------------------------------------
 

@@ -20,7 +20,7 @@ progress-based planner.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.jobtracker import JobTracker
@@ -29,6 +29,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import deadline_miss_ratio, max_tardiness, total_tardiness
 from repro.oozie import OozieCoordinator
 from repro.schedulers.base import WorkflowScheduler
+from repro.trace import DecisionTracer
 from repro.workflow.model import Workflow
 
 __all__ = ["WorkflowStats", "SimulationResult", "ClusterSimulation"]
@@ -71,6 +72,8 @@ class SimulationResult:
     metrics: MetricsCollector
     makespan: float
     events_processed: int
+    #: The decision tracer, when the run was started with ``trace=``.
+    tracer: Optional[DecisionTracer] = None
 
     @property
     def miss_ratio(self) -> float:
@@ -102,6 +105,11 @@ class ClusterSimulation:
         submission: ``"oozie"`` or ``"woha"`` (see module docstring).
         planner: WOHA-mode plan generator, called at each workflow's
             submission time.  Ignored in oozie mode.
+        trace: decision tracing (:mod:`repro.trace`).  ``False`` (default)
+            disables it; ``True`` attaches an unbounded
+            :class:`~repro.trace.DecisionTracer`; an ``int`` attaches a
+            ring buffer of that capacity; a ready-made tracer instance is
+            used as given.  Tracing never changes scheduling decisions.
     """
 
     def __init__(
@@ -111,6 +119,7 @@ class ClusterSimulation:
         submission: str = "oozie",
         planner: Optional[Planner] = None,
         duration_sampler_factory: Optional[Callable] = None,
+        trace: Union[bool, int, DecisionTracer] = False,
     ) -> None:
         if submission not in ("oozie", "woha"):
             raise ValueError(f"unknown submission mode {submission!r}")
@@ -123,6 +132,14 @@ class ClusterSimulation:
         )
         self.metrics = MetricsCollector(config)
         self.jobtracker.add_listener(self.metrics)
+        self.tracer: Optional[DecisionTracer] = None
+        if trace:
+            if isinstance(trace, DecisionTracer):
+                self.tracer = trace
+            else:
+                self.tracer = DecisionTracer(capacity=None if trace is True else int(trace))
+            scheduler.attach_tracer(self.tracer)
+            self.jobtracker.attach_tracer(self.tracer)
         self.oozie: Optional[OozieCoordinator] = None
         if submission == "oozie":
             self.oozie = OozieCoordinator(self.sim, self.jobtracker)
@@ -175,11 +192,14 @@ class ClusterSimulation:
             )
             for wip in self.jobtracker.workflows.values()
         }
+        if self.tracer is not None:
+            self.metrics.aggregate_counters(self.tracer)
         return SimulationResult(
             stats=stats,
             metrics=self.metrics,
             makespan=makespan,
             events_processed=self.sim.processed_events,
+            tracer=self.tracer,
         )
 
     def _all_done(self) -> bool:

@@ -121,9 +121,17 @@ class SplitCapSearchResult:
 
 
 def _split_caps(k: int, total: int, map_fraction: float) -> "tuple[int, int]":
-    """Scale the cluster's map/reduce pool mix down to ``k`` total slots."""
-    map_cap = max(1, round(k * map_fraction))
-    reduce_cap = max(1, k - map_cap)
+    """Scale the cluster's map/reduce pool mix down to ``k`` total slots.
+
+    ``total`` is the cluster's full slot count; the returned caps are
+    clamped to the pool sizes it implies, so rounding (or the ``max(1, ..)``
+    floors) can never hand a plan more map or reduce parallelism of either
+    kind than the modelled cluster actually has.
+    """
+    pool_maps = max(1, round(total * map_fraction))
+    pool_reduces = max(1, total - pool_maps)
+    map_cap = min(pool_maps, max(1, round(k * map_fraction)))
+    reduce_cap = min(pool_reduces, max(1, k - map_cap))
     return map_cap, reduce_cap
 
 
@@ -154,11 +162,14 @@ def find_min_cap_split(
         mc, rc = _split_caps(k, max_slots, map_fraction)
         return generate_requirements_split(workflow, mc, rc, job_order).makespan
 
+    if relative_deadline is None:
+        # Best-effort workflow: no deadline to honour; plan at full size
+        # (mirrors find_min_cap's early return, one probe).
+        mc, rc = _split_caps(max_slots, max_slots, map_fraction)
+        return SplitCapSearchResult(mc, rc, True, makespan_at(max_slots), probes=1)
+
     probes = 1
     top = makespan_at(max_slots)
-    if relative_deadline is None:
-        mc, rc = _split_caps(max_slots, max_slots, map_fraction)
-        return SplitCapSearchResult(mc, rc, True, top, probes)
     if top > relative_deadline:
         mc, rc = _split_caps(max_slots, max_slots, map_fraction)
         return SplitCapSearchResult(mc, rc, False, top, probes)

@@ -114,17 +114,29 @@ class ProgressPlan:
 
     # -- wire size (Fig 13b) ----------------------------------------------------
 
+    # High bit of the header's cap field flags an *infeasible* plan.  Caps
+    # are slot counts (the paper's clusters top out in the hundreds), so the
+    # bit is always free; stealing it keeps feasible plans byte-identical to
+    # the original wire format and costs infeasible plans nothing.
+    _INFEASIBLE_BIT = 0x8000_0000
+
     def to_bytes(self) -> bytes:
         """Serialise the plan as the client would ship it to the master.
 
-        Layout: header (cap, makespan, entry/job counts), then one
+        Layout: header (cap+flags, makespan, entry/job counts), then one
         ``<d I`` (float64 ttd, uint32 cum_req) record per entry, then the
         job order as length-prefixed UTF-8 names — all zlib-compressed.
+        The cap field's high bit encodes ``feasible=False`` (the scheduler
+        demotes infeasible plans, so the flag must survive the wire);
+        feasible plans serialise byte-identically to the flagless format.
         Plan batches are highly regular (same-duration waves), so the
         records compress several-fold; Fig 13b plots
         ``len(plan.to_bytes())``.
         """
-        blob = [struct.pack("<IdII", self.resource_cap, self.makespan, len(self.entries), len(self.job_order))]
+        if self.resource_cap >= self._INFEASIBLE_BIT:
+            raise ValueError(f"resource cap {self.resource_cap} too large to serialise")
+        cap_field = self.resource_cap | (0 if self.feasible else self._INFEASIBLE_BIT)
+        blob = [struct.pack("<IdII", cap_field, self.makespan, len(self.entries), len(self.job_order))]
         for entry in self.entries:
             blob.append(struct.pack("<dI", entry.ttd, entry.cum_req))
         for name in self.job_order:
@@ -141,7 +153,9 @@ class ProgressPlan:
     def from_bytes(cls, data: bytes) -> "ProgressPlan":
         """Inverse of :meth:`to_bytes` (round-trip tested)."""
         data = zlib.decompress(data)
-        cap, makespan, n_entries, n_jobs = struct.unpack_from("<IdII", data, 0)
+        cap_field, makespan, n_entries, n_jobs = struct.unpack_from("<IdII", data, 0)
+        feasible = not (cap_field & cls._INFEASIBLE_BIT)
+        cap = cap_field & ~cls._INFEASIBLE_BIT
         offset = struct.calcsize("<IdII")
         entries: List[ProgressEntry] = []
         for _ in range(n_entries):
@@ -161,6 +175,7 @@ class ProgressPlan:
             resource_cap=cap,
             makespan=makespan,
             total_tasks=total,
+            feasible=feasible,
         )
 
     def requirement_at_time(self, deadline: float, t: float) -> int:

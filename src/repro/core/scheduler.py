@@ -17,7 +17,15 @@ Runtime behaviour (paper §IV-B):
 
 Workflows without a plan or deadline sort behind every planned workflow
 (they have no progress requirement to fall behind of) and are served FIFO
-among themselves.
+among themselves.  Workflows whose plan is *infeasible* (the cap search
+could not meet the deadline even with the whole cluster) are demoted the
+same way: their plan's requirements are unattainable by construction, so
+honouring its aggressive lag would let a hopeless workflow starve feasible
+ones.  The plan's job order still guides intra-workflow picks.
+
+With a :mod:`repro.trace` tracer attached, every ``select_task`` emits a
+``decision`` event (chosen workflow, its lag, queue position, skipped
+workflows, ct advances); tracing is strictly observational.
 
 :class:`NaiveWohaScheduler` is the paper's strawman for Fig 13a: same
 decisions, but every call recomputes every workflow's lag and re-sorts.
@@ -70,7 +78,16 @@ class _WorkflowRecord:
 
     @property
     def has_plan(self) -> bool:
-        return self.plan is not None and self.wip.deadline is not None and len(self.plan) > 0
+        # Infeasible plans are demoted to best-effort: their requirements
+        # cannot be met by construction, so following them would starve
+        # feasible workflows (the flag must therefore survive plan
+        # serialization — see ProgressPlan.to_bytes).
+        return (
+            self.plan is not None
+            and self.wip.deadline is not None
+            and len(self.plan) > 0
+            and self.plan.feasible
+        )
 
     @property
     def rho(self) -> int:
@@ -171,8 +188,13 @@ class WohaScheduler(WorkflowScheduler):
 
     # -- Algorithm 2 -----------------------------------------------------------
 
-    def _advance_ct_heads(self, now: float) -> None:
-        """Lines 4-19: update every workflow whose requirement changed."""
+    def _advance_ct_heads(self, now: float) -> int:
+        """Lines 4-19: update every workflow whose requirement changed.
+
+        Returns the number of head advances performed (traced as
+        ``ct_advance`` events).
+        """
+        advanced = 0
         while True:
             head = self._queue.head_by_ct()
             if head is None or head.ct > now:
@@ -180,16 +202,63 @@ class WohaScheduler(WorkflowScheduler):
             record: _WorkflowRecord = head.payload
             record.index = record.plan.first_index_after(record.wip.deadline, now)
             self._queue.update_head_ct(record.next_change_time(), record.current_priority())
+            advanced += 1
+            if self.tracer.enabled:
+                self.tracer.incr(self.name, "ct_advances")
+                self.tracer.record(
+                    "ct_advance",
+                    now,
+                    scheduler=self.name,
+                    workflow=record.wip.name,
+                    index=record.index,
+                    lag=record.current_priority(),
+                )
+        return advanced
 
     def select_task(self, kind: TaskKind, now: float) -> Optional[Task]:
         self.assign_calls += 1
-        self._advance_ct_heads(now)
+        advanced = self._advance_ct_heads(now)
+        tracing = self.tracer.enabled
+        skipped: Optional[List[str]] = [] if tracing else None
         # Serve the largest lag first; skip workflows with nothing runnable
         # of this kind (work conservation).
-        for entry in self._queue.iter_by_priority():
-            task = _pick_task_in_workflow(entry.payload, kind)
+        for position, entry in enumerate(self._queue.iter_by_priority()):
+            record: _WorkflowRecord = entry.payload
+            task = _pick_task_in_workflow(record, kind)
             if task is not None:
+                if tracing:
+                    self.tracer.incr(self.name, "decisions")
+                    self.tracer.record(
+                        "decision",
+                        now,
+                        scheduler=self.name,
+                        slot_kind=kind.value,
+                        workflow=record.wip.name,
+                        task=task.task_id,
+                        lag=record.current_priority() if record.has_plan else None,
+                        queue_len=len(self._queue),
+                        position=position,
+                        skipped=skipped,
+                        ct_advances=advanced,
+                    )
                 return task
+            if tracing:
+                skipped.append(record.wip.name)
+        if tracing:
+            self.tracer.incr(self.name, "idle_decisions")
+            self.tracer.record(
+                "decision",
+                now,
+                scheduler=self.name,
+                slot_kind=kind.value,
+                workflow=None,
+                task=None,
+                lag=None,
+                queue_len=len(self._queue),
+                position=None,
+                skipped=skipped,
+                ct_advances=advanced,
+            )
         return None
 
     def on_task_assigned(self, task: Task, now: float) -> None:
@@ -244,12 +313,47 @@ class NaiveWohaScheduler(WorkflowScheduler):
 
     def select_task(self, kind: TaskKind, now: float) -> Optional[Task]:
         self.assign_calls += 1
+        tracing = self.tracer.enabled
+        skipped: Optional[List[str]] = [] if tracing else None
         ordered = sorted(
             self._records.values(),
             key=lambda r: (-self._lag(r, now), r.wip.name),
         )
-        for record in ordered:
+        for position, record in enumerate(ordered):
             task = _pick_task_in_workflow(record, kind)
             if task is not None:
+                if tracing:
+                    lag = self._lag(record, now)
+                    self.tracer.incr(self.name, "decisions")
+                    self.tracer.record(
+                        "decision",
+                        now,
+                        scheduler=self.name,
+                        slot_kind=kind.value,
+                        workflow=record.wip.name,
+                        task=task.task_id,
+                        lag=lag if lag != float("-inf") else None,
+                        queue_len=len(ordered),
+                        position=position,
+                        skipped=skipped,
+                        ct_advances=0,
+                    )
                 return task
+            if tracing:
+                skipped.append(record.wip.name)
+        if tracing:
+            self.tracer.incr(self.name, "idle_decisions")
+            self.tracer.record(
+                "decision",
+                now,
+                scheduler=self.name,
+                slot_kind=kind.value,
+                workflow=None,
+                task=None,
+                lag=None,
+                queue_len=len(ordered),
+                position=None,
+                skipped=skipped,
+                ct_advances=0,
+            )
         return None

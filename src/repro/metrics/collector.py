@@ -7,16 +7,22 @@ launch/completion.  From the raw event log it derives:
   the paper's Figs 14-19 (map/reduce slots in use by each workflow over
   time);
 * **cluster utilization** (busy slot-seconds over capacity), Fig 12;
-* busy-time and task-count counters used in tests.
+* busy-time and task-count counters used in tests;
+* **per-scheduler decision counters** aggregated from a
+  :class:`~repro.trace.DecisionTracer` (decisions, idle calls, ct
+  advances, slot frees, assignment-wait totals).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.tasks import Task, TaskKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.trace import DecisionTracer
 
 __all__ = ["SlotSample", "MetricsCollector"]
 
@@ -46,6 +52,10 @@ class MetricsCollector:
         self.tasks_lost = 0
         self.first_event: Optional[float] = None
         self.last_event: Optional[float] = None
+        # {scheduler name: {counter name: value}}, filled by
+        # aggregate_counters; accumulates across tracers/runs so sweeps can
+        # pool several traced simulations into one table.
+        self.scheduler_counters: Dict[str, Dict[str, Union[int, float]]] = {}
 
     # -- JobTracker listener hooks -----------------------------------------
 
@@ -81,6 +91,23 @@ class MetricsCollector:
         if self.first_event is None:
             self.first_event = now
         self.last_event = now
+
+    # -- decision-counter aggregation ----------------------------------------
+
+    def aggregate_counters(
+        self, tracer: "DecisionTracer"
+    ) -> Dict[str, Dict[str, Union[int, float]]]:
+        """Fold a tracer's per-scheduler counters into this collector.
+
+        Values *add* to whatever was aggregated before, so calling this for
+        several tracers (e.g. one per run of a sweep) pools them into one
+        per-scheduler table.  Returns the updated table.
+        """
+        for scheduler, counters in tracer.counter_table().items():
+            bucket = self.scheduler_counters.setdefault(scheduler, {})
+            for name, value in counters.items():
+                bucket[name] = bucket.get(name, 0) + value
+        return self.scheduler_counters
 
     # -- derived series -------------------------------------------------------
 

@@ -6,18 +6,22 @@ workflow's completion (the **realized critical path** — not the estimated
 one), and how far the workflow ran behind its scheduling plan.
 
 :class:`PostMortem` is a JobTracker listener; register it before running
-and query it afterwards.
+and query it afterwards.  :func:`explain_miss` answers the complementary
+question from a decision trace (:mod:`repro.trace`): *which scheduling
+decisions made workflow X miss its deadline* — every ``select_task`` call
+in the workflow's danger window is attributed as served / outranked by a
+named competitor / nothing-runnable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.cluster.job import JobInProgress, SubmitterJob
 from repro.cluster.tasks import Task, TaskKind
 
-__all__ = ["JobSpan", "PostMortem"]
+__all__ = ["JobSpan", "PostMortem", "MissExplanation", "explain_miss"]
 
 
 @dataclass
@@ -134,3 +138,152 @@ class PostMortem:
 
     def completion_time(self, workflow: str) -> Optional[float]:
         return self._workflow_done.get(workflow)
+
+
+@dataclass
+class MissExplanation:
+    """Attribution of a workflow's deadline miss to scheduler decisions.
+
+    Every ``decision`` event inside the workflow's danger window — from its
+    submission until its deadline (or completion, whichever came first) —
+    falls into exactly one bucket:
+
+    * ``served``: the scheduler picked this workflow;
+    * ``not_runnable``: the workflow was examined but had nothing runnable
+      of the requested slot kind (it appears in the decision's ``skipped``
+      list, or the whole call came up empty);
+    * ``outranked``: another workflow won while this one was active and
+      not reported as skipped — the contention that cost it the deadline.
+      ``lost_to`` names the winners and how often each won.
+    """
+
+    workflow: str
+    deadline: Optional[float]
+    submit_time: Optional[float]
+    completion_time: Optional[float]
+    served: int = 0
+    outranked: int = 0
+    not_runnable: int = 0
+    lost_to: Dict[str, int] = field(default_factory=dict)
+    #: Largest lag ``F_h(ttd) - rho_h`` recorded for the workflow in the
+    #: window — how far behind plan it fell at worst.
+    max_lag: Optional[float] = None
+
+    @property
+    def missed(self) -> Optional[bool]:
+        """Whether the workflow missed its deadline (``None`` if unknown)."""
+        if self.deadline is None:
+            return False
+        if self.completion_time is None:
+            return None
+        return self.completion_time > self.deadline
+
+    @property
+    def tardiness(self) -> Optional[float]:
+        """``max(0, completion - deadline)``; ``None`` when unknown."""
+        if self.deadline is None:
+            return 0.0
+        if self.completion_time is None:
+            return None
+        return max(0.0, self.completion_time - self.deadline)
+
+    def summary(self) -> str:
+        """A human-readable one-paragraph digest (used by the CLI)."""
+        lines = [f"workflow {self.workflow}:"]
+        if self.deadline is None:
+            lines.append("  best-effort (no deadline)")
+        elif self.missed:
+            lines.append(
+                f"  MISSED deadline {self.deadline:g} "
+                f"(finished {self.completion_time:g}, tardiness {self.tardiness:g})"
+            )
+        elif self.missed is None:
+            lines.append(f"  deadline {self.deadline:g}, completion unknown (truncated trace)")
+        else:
+            lines.append(
+                f"  met deadline {self.deadline:g} (finished {self.completion_time:g})"
+            )
+        lines.append(
+            f"  decisions in window: served {self.served}, "
+            f"outranked {self.outranked}, not-runnable {self.not_runnable}"
+        )
+        if self.max_lag is not None:
+            lines.append(f"  worst lag behind plan: {self.max_lag:g} tasks")
+        if self.lost_to:
+            winners = sorted(self.lost_to.items(), key=lambda kv: (-kv[1], kv[0]))
+            lines.append(
+                "  lost slots to: "
+                + ", ".join(f"{name} ({count}x)" for name, count in winners)
+            )
+        return "\n".join(lines)
+
+
+def explain_miss(
+    events: Iterable[Dict[str, Any]], workflow: str
+) -> MissExplanation:
+    """Attribute a workflow's deadline miss to the decisions in a trace.
+
+    ``events`` is a decision log — a :class:`~repro.trace.DecisionTracer`
+    (iterable of event dicts) or the output of
+    :func:`repro.trace.read_jsonl`.  Only decisions inside the workflow's
+    danger window (submission to ``min(deadline, completion)``) are
+    counted: a slot granted elsewhere after the deadline has already
+    passed, or after the workflow finished, did not cause the miss.
+
+    Works on truncated (ring-buffer) traces: missing lifecycle markers
+    leave the corresponding window edge open.
+    """
+    events = list(events)
+    deadline: Optional[float] = None
+    submit_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    for event in events:
+        if event.get("workflow") != workflow:
+            continue
+        kind = event.get("event")
+        if kind == "workflow_submitted":
+            submit_time = event["time"]
+            deadline = event.get("deadline")
+        elif kind == "workflow_completed":
+            completion_time = event["time"]
+            if deadline is None:
+                deadline = event.get("deadline")
+
+    window_start = submit_time if submit_time is not None else float("-inf")
+    window_end = float("inf")
+    if deadline is not None:
+        window_end = deadline
+    if completion_time is not None:
+        window_end = min(window_end, completion_time)
+
+    explanation = MissExplanation(
+        workflow=workflow,
+        deadline=deadline,
+        submit_time=submit_time,
+        completion_time=completion_time,
+    )
+    for event in events:
+        if event.get("event") == "ct_advance" and event.get("workflow") == workflow:
+            lag = event.get("lag")
+            if lag is not None and (explanation.max_lag is None or lag > explanation.max_lag):
+                explanation.max_lag = lag
+        if event.get("event") != "decision":
+            continue
+        time = event["time"]
+        if time < window_start or time > window_end:
+            continue
+        winner = event.get("workflow")
+        skipped = event.get("skipped") or []
+        if winner == workflow:
+            explanation.served += 1
+            lag = event.get("lag")
+            if lag is not None and (explanation.max_lag is None or lag > explanation.max_lag):
+                explanation.max_lag = lag
+        elif workflow in skipped or winner is None:
+            # Examined but had nothing runnable of this kind — or the whole
+            # call found nothing; either way no competitor took its slot.
+            explanation.not_runnable += 1
+        else:
+            explanation.outranked += 1
+            explanation.lost_to[winner] = explanation.lost_to.get(winner, 0) + 1
+    return explanation

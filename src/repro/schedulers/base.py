@@ -10,9 +10,10 @@ simulation.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.cluster.tasks import Task, TaskKind
+from repro.trace import NULL_TRACER, DecisionTracer, NullTracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.job import JobInProgress
@@ -28,14 +29,28 @@ class WorkflowScheduler(abc.ABC):
     the cluster; :meth:`select_task` answers "which task should the next
     free slot of this kind run?" and is called once per assignment, exactly
     like Hadoop-1's ``TaskScheduler.assignTasks`` loop.
+
+    Implementations hold a :mod:`repro.trace` tracer (the no-op
+    :data:`~repro.trace.NULL_TRACER` until one is attached) and emit one
+    ``decision`` event per ``select_task`` call when it is enabled.
+    Instrumentation must be strictly observational: attaching a tracer may
+    never change which task a call returns.
     """
+
+    #: Display name used in traces and counter tables; subclasses override.
+    name = "scheduler"
 
     def __init__(self) -> None:
         self.jobtracker: Optional["JobTracker"] = None
+        self.tracer: Union[DecisionTracer, NullTracer] = NULL_TRACER
 
     def bind(self, jobtracker: "JobTracker") -> None:
         """Called once by the JobTracker before any other callback."""
         self.jobtracker = jobtracker
+
+    def attach_tracer(self, tracer: Union[DecisionTracer, NullTracer]) -> None:
+        """Start emitting decision events into ``tracer``."""
+        self.tracer = tracer
 
     # -- lifecycle notifications (default: ignore) -----------------------
 

@@ -48,20 +48,53 @@ class EdfScheduler(WorkflowScheduler):
             self._standalone.append(jip)
 
     def select_task(self, kind: TaskKind, now: float) -> Optional[Task]:
-        for _deadline, _submit, _name, wip in self._order:
+        tracing = self.tracer.enabled
+        skipped = [] if tracing else None
+        for position, (deadline, _submit, _name, wip) in enumerate(self._order):
+            task = None
             if wip.submitter is not None and not wip.submitter.completed:
                 task = wip.submitter.obtain(kind) if kind.uses_map_slot else None
-                if task is not None:
-                    return task
-            for jip in wip.jobs.values():
-                if jip.completed:
-                    continue
-                task = jip.obtain(kind)
-                if task is not None:
-                    return task
+            if task is None:
+                for jip in wip.jobs.values():
+                    if jip.completed:
+                        continue
+                    task = jip.obtain(kind)
+                    if task is not None:
+                        break
+            if task is not None:
+                if tracing:
+                    self._trace_decision(kind, now, wip.name, task, position, skipped)
+                return task
+            if tracing:
+                skipped.append(wip.name)
         for jip in self._standalone:
             if not jip.completed:
                 task = jip.obtain(kind)
                 if task is not None:
+                    if tracing:
+                        self._trace_decision(
+                            kind, now, jip.workflow_name, task, len(self._order), skipped
+                        )
                     return task
+        if tracing:
+            self.tracer.incr(self.name, "idle_decisions")
+            self._trace_decision(kind, now, None, None, None, skipped)
         return None
+
+    def _trace_decision(self, kind, now, workflow, task, position, skipped) -> None:
+        """Emit one ``decision`` event (EDF has no plan, so ``lag`` is None)."""
+        if task is not None:
+            self.tracer.incr(self.name, "decisions")
+        self.tracer.record(
+            "decision",
+            now,
+            scheduler=self.name,
+            slot_kind=kind.value,
+            workflow=workflow,
+            task=None if task is None else task.task_id,
+            lag=None,
+            queue_len=len(self._order),
+            position=position,
+            skipped=skipped,
+            ct_advances=0,
+        )

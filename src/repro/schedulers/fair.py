@@ -37,15 +37,52 @@ class FairScheduler(WorkflowScheduler):
             pass
 
     def select_task(self, kind: TaskKind, now: float) -> Optional[Task]:
+        tracing = self.tracer.enabled
+        skipped = [] if tracing else None
         best: Optional[JobInProgress] = None
         best_key = None
-        for jip in self._jobs:
+        best_position = None
+        for position, jip in enumerate(self._jobs):
             if jip.completed or not jip.has_runnable(kind):
+                if tracing and not jip.completed:
+                    # Fair shares across jobs; skipped entries are job ids.
+                    skipped.append(jip.job_id)
                 continue
             occupancy = jip.running_maps if kind.uses_map_slot else jip.running_reduces
             key = (occupancy, jip.submit_time, jip.job_id)
             if best_key is None or key < best_key:
-                best, best_key = jip, key
+                best, best_key, best_position = jip, key, position
         if best is None:
+            if tracing:
+                self.tracer.incr(self.name, "idle_decisions")
+                self.tracer.record(
+                    "decision",
+                    now,
+                    scheduler=self.name,
+                    slot_kind=kind.value,
+                    workflow=None,
+                    task=None,
+                    lag=None,
+                    queue_len=len(self._jobs),
+                    position=None,
+                    skipped=skipped,
+                    ct_advances=0,
+                )
             return None
-        return best.obtain(kind)
+        task = best.obtain(kind)
+        if tracing:
+            self.tracer.incr(self.name, "decisions")
+            self.tracer.record(
+                "decision",
+                now,
+                scheduler=self.name,
+                slot_kind=kind.value,
+                workflow=best.workflow_name,
+                task=None if task is None else task.task_id,
+                lag=None,
+                queue_len=len(self._jobs),
+                position=best_position,
+                skipped=skipped,
+                ct_advances=0,
+            )
+        return task

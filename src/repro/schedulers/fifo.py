@@ -38,10 +38,45 @@ class FifoScheduler(WorkflowScheduler):
             pass
 
     def select_task(self, kind: TaskKind, now: float) -> Optional[Task]:
-        for jip in self._queue:
+        tracing = self.tracer.enabled
+        skipped = [] if tracing else None
+        for position, jip in enumerate(self._queue):
             if jip.completed:
                 continue
             task = jip.obtain(kind)
             if task is not None:
+                if tracing:
+                    self.tracer.incr(self.name, "decisions")
+                    self.tracer.record(
+                        "decision",
+                        now,
+                        scheduler=self.name,
+                        slot_kind=kind.value,
+                        workflow=jip.workflow_name,
+                        task=task.task_id,
+                        lag=None,
+                        queue_len=len(self._queue),
+                        position=position,
+                        skipped=skipped,
+                        ct_advances=0,
+                    )
                 return task
+            if tracing:
+                # FIFO queues jobs, not workflows; skipped entries are job ids.
+                skipped.append(jip.job_id)
+        if tracing:
+            self.tracer.incr(self.name, "idle_decisions")
+            self.tracer.record(
+                "decision",
+                now,
+                scheduler=self.name,
+                slot_kind=kind.value,
+                workflow=None,
+                task=None,
+                lag=None,
+                queue_len=len(self._queue),
+                position=None,
+                skipped=skipped,
+                ct_advances=0,
+            )
         return None

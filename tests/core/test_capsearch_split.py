@@ -1,8 +1,10 @@
 """Tests for the split-pool cap search ablation."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core.capsearch import capped_plan_split, find_min_cap_split
+from repro.core.capsearch import _split_caps, capped_plan_split, find_min_cap, find_min_cap_split
 from repro.core.plangen import generate_requirements, generate_requirements_split
 from repro.workflow.builder import WorkflowBuilder
 
@@ -38,6 +40,45 @@ class TestFindMinCapSplit:
             find_min_cap_split(reduce_heavy(), max_slots=1)
         with pytest.raises(ValueError):
             find_min_cap_split(reduce_heavy(), max_slots=10, map_fraction=1.5)
+
+    def test_probes_match_pooled_search_for_best_effort(self):
+        """Regression: the no-deadline path used to fall through into the
+        binary-search body, so a best-effort split search reported more
+        probes than the pooled search for the same workflow."""
+        w = WorkflowBuilder("w").job("a", maps=4, reduces=2, map_s=5, reduce_s=5).build()
+        pooled = find_min_cap(w, max_slots=30)
+        split = find_min_cap_split(w, max_slots=30, map_fraction=2 / 3)
+        assert pooled.probes == split.probes == 1
+        assert pooled.feasible and split.feasible
+
+
+class TestSplitCaps:
+    @given(
+        k=st.integers(1, 300),
+        total=st.integers(2, 300),
+        map_fraction=st.floats(0.05, 0.95),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_caps_bounded_by_pools(self, k, total, map_fraction):
+        """Regression: ``_split_caps`` ignored ``total``, so rounding could
+        grant a scaled-down plan more slots of a kind than the modelled
+        cluster's pool of that kind actually holds."""
+        map_cap, reduce_cap = _split_caps(k, total, map_fraction)
+        pool_maps = max(1, round(total * map_fraction))
+        pool_reduces = max(1, total - pool_maps)
+        assert 1 <= map_cap <= pool_maps
+        assert 1 <= reduce_cap <= pool_reduces
+
+    def test_full_size_request_matches_pools_exactly(self):
+        assert _split_caps(30, 30, 2 / 3) == (20, 10)
+        assert _split_caps(96, 96, 2 / 3) == (64, 32)
+
+    def test_overshoot_clamped(self):
+        # A small cluster with a reduce-light mix: the reduce pool holds a
+        # single slot, so no scaled-down k may be granted more than that.
+        for k in range(1, 11):
+            _map_cap, reduce_cap = _split_caps(k, 10, 0.9)
+            assert reduce_cap == 1
 
 
 class TestPredictionFidelity:

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.core.progress import ProgressEntry, ProgressPlan
 
 
-def make_plan(pairs, job_order=("a", "b"), cap=4, makespan=None, total=None):
+def make_plan(pairs, job_order=("a", "b"), cap=4, makespan=None, total=None, feasible=True):
     entries = tuple(ProgressEntry(ttd=t, cum_req=r) for t, r in pairs)
     if makespan is None:
         makespan = pairs[0][0] if pairs else 0.0
@@ -19,6 +19,7 @@ def make_plan(pairs, job_order=("a", "b"), cap=4, makespan=None, total=None):
         resource_cap=cap,
         makespan=makespan,
         total_tasks=total,
+        feasible=feasible,
     )
 
 
@@ -107,6 +108,55 @@ class TestSerialization:
         entries = [(float(n - i), i + 1) for i in range(n)]
         plan = make_plan(entries, total=n)
         assert ProgressPlan.from_bytes(plan.to_bytes()).entries == plan.entries
+
+    def test_roundtrip_preserves_infeasible_flag(self):
+        """Regression: from_bytes used to drop ``feasible`` (it defaulted to
+        True), silently promoting best-effort plans after one serialise."""
+        plan = make_plan([(60.0, 4), (30.0, 10), (6.0, 15)], feasible=False)
+        clone = ProgressPlan.from_bytes(plan.to_bytes())
+        assert clone.feasible is False
+        assert clone.resource_cap == plan.resource_cap
+
+    def test_feasible_wire_format_is_unchanged(self):
+        """The flag rides the cap field's high bit: feasible plans must
+        serialise byte-identically to the original flagless layout."""
+        import struct
+        import zlib
+
+        plan = make_plan([(60.0, 4), (30.0, 10), (6.0, 15)], job_order=("x", "y"), cap=7)
+        legacy = [struct.pack("<IdII", plan.resource_cap, plan.makespan,
+                              len(plan.entries), len(plan.job_order))]
+        for entry in plan.entries:
+            legacy.append(struct.pack("<dI", entry.ttd, entry.cum_req))
+        for name in plan.job_order:
+            encoded = name.encode("utf-8")
+            legacy.append(struct.pack("<H", len(encoded)))
+            legacy.append(encoded)
+        assert plan.to_bytes() == zlib.compress(b"".join(legacy), level=6)
+
+    def test_roundtrip_empty_infeasible_plan(self):
+        plan = make_plan([], total=0, feasible=False)
+        clone = ProgressPlan.from_bytes(plan.to_bytes())
+        assert clone.feasible is False
+        assert clone.entries == ()
+
+    def test_roundtrip_unicode_job_names(self):
+        plan = make_plan([(10.0, 3)], job_order=("étape-1", "作业②"), total=3)
+        clone = ProgressPlan.from_bytes(plan.to_bytes())
+        assert clone.job_order == ("étape-1", "作业②")
+
+    def test_oversized_cap_rejected(self):
+        plan = make_plan([(10.0, 3)], cap=0x8000_0000, total=3)
+        with pytest.raises(ValueError, match="too large"):
+            plan.to_bytes()
+
+    @given(st.integers(1, 30), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_all_fields(self, n, feasible):
+        entries = [(float(n - i), i + 1) for i in range(n)]
+        plan = make_plan(entries, total=n, feasible=feasible, cap=n)
+        clone = ProgressPlan.from_bytes(plan.to_bytes())
+        assert clone == plan
 
 
 @given(

@@ -81,6 +81,35 @@ class TestLagPrioritization:
         # Work conservation: best-effort still finishes.
         assert result.stats["be"].completion_time < float("inf")
 
+    @pytest.mark.parametrize("scheduler_factory", [WohaScheduler, NaiveWohaScheduler])
+    def test_deserialized_infeasible_plan_sorts_behind_feasible(self, scheduler_factory):
+        """Regression for the from_bytes feasibility drop: a plan marked
+        infeasible must stay demoted after a wire round-trip.  Before the
+        fix, deserialisation silently reset ``feasible=True`` and the doomed
+        workflow (tighter deadline, bigger lag) would outrank the planned
+        one."""
+        from dataclasses import replace
+
+        from repro.core.progress import ProgressPlan
+
+        base = make_planner("lpf")
+
+        def planner(workflow, slots):
+            plan = base(workflow, slots)
+            if workflow.name == "doomed":
+                plan = replace(plan, feasible=False)
+            # Ship every plan over the wire, as the real client would.
+            return ProgressPlan.from_bytes(plan.to_bytes())
+
+        doomed = wide("doomed", maps=8, submit=0.0, deadline=60.0)
+        planned = wide("planned", maps=8, submit=0.0, deadline=200.0)
+        result = run_woha([doomed, planned], scheduler_factory(), planner=planner)
+        assert result.stats["planned"].met_deadline
+        assert (
+            result.stats["planned"].completion_time
+            < result.stats["doomed"].completion_time
+        )
+
     def test_work_conserving_when_top_workflow_stalls(self):
         """Head workflow with no runnable tasks must not idle the cluster."""
         # chain workflow: between phases it has nothing runnable.

@@ -76,3 +76,42 @@ class TestTraceCommand:
             "--single-job", "2", "--drop-single-job",
         ]) == 0
         assert "wrote 4 workflows" in capsys.readouterr().out
+
+
+class TestTraceDecisionsCommand:
+    def test_jsonl_on_stdout(self, xml_file, capsys):
+        import json
+
+        assert main(["trace-decisions", xml_file, "--nodes", "8"]) == 0
+        out = capsys.readouterr().out
+        events = [json.loads(line) for line in out.splitlines()]
+        assert any(e["event"] == "decision" for e in events)
+        assert any(e["event"] == "assign" for e in events)
+
+    def test_jsonl_to_file_with_counters_and_explain(self, xml_file, tmp_path, capsys):
+        from repro.trace import read_jsonl
+
+        out_path = str(tmp_path / "decisions.jsonl")
+        assert main([
+            "trace-decisions", xml_file, "--nodes", "8",
+            "--out", out_path, "--counters", "--explain", "demo",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "wrote" in captured.err
+        assert "counters [" in captured.err
+        assert "workflow demo:" in captured.err
+        events = read_jsonl(out_path)
+        assert any(e["event"] == "workflow_submitted" for e in events)
+
+    def test_ring_capacity_limits_dump(self, xml_file, capsys):
+        assert main(["trace-decisions", xml_file, "--nodes", "8", "--ring", "5"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) == 5
+
+    def test_unknown_explain_workflow_errors(self, xml_file, capsys):
+        assert main([
+            "trace-decisions", xml_file, "--nodes", "8", "--explain", "ghost",
+        ]) == 2
+
+    def test_no_input_errors(self, capsys):
+        assert main(["trace-decisions"]) == 2

@@ -6,8 +6,9 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.simulation import ClusterSimulation
 from repro.core.client import make_planner
 from repro.core.scheduler import WohaScheduler
-from repro.metrics.postmortem import PostMortem
+from repro.metrics.postmortem import PostMortem, explain_miss
 from repro.schedulers.fifo import FifoScheduler
+from repro.trace import read_jsonl
 from repro.workflow.builder import WorkflowBuilder
 
 
@@ -109,3 +110,101 @@ class TestProgressCurve:
         assert plan.requirement_at_time(deadline, deadline) == wf.total_tasks
         # Before the plan's aligned start, nothing is required.
         assert plan.requirement_at_time(deadline, deadline - plan.makespan - 1) == 0
+
+
+def synthetic_trace():
+    """A hand-built decision log: `victim` loses two slots to `hog`, is
+    skipped once while waiting on a barrier, and misses its deadline."""
+    return [
+        {"seq": 0, "event": "workflow_submitted", "time": 0.0,
+         "workflow": "hog", "deadline": None, "total_tasks": 10},
+        {"seq": 1, "event": "workflow_submitted", "time": 1.0,
+         "workflow": "victim", "deadline": 50.0, "total_tasks": 4},
+        # Before the victim arrives: must not be attributed to it.
+        {"seq": 2, "event": "decision", "time": 0.5, "workflow": "hog",
+         "task": "h/map-0", "lag": None, "skipped": []},
+        # Contention window: hog wins twice, victim served once, skipped once.
+        {"seq": 3, "event": "decision", "time": 2.0, "workflow": "hog",
+         "task": "h/map-1", "lag": None, "skipped": []},
+        {"seq": 4, "event": "decision", "time": 3.0, "workflow": "victim",
+         "task": "v/map-0", "lag": 2.0, "skipped": []},
+        {"seq": 5, "event": "decision", "time": 4.0, "workflow": "hog",
+         "task": "h/map-2", "lag": None, "skipped": ["victim"]},
+        {"seq": 6, "event": "decision", "time": 5.0, "workflow": "hog",
+         "task": "h/map-3", "lag": None, "skipped": []},
+        # Idle call: nobody had work of this kind.
+        {"seq": 7, "event": "decision", "time": 6.0, "workflow": None,
+         "task": None, "lag": None, "skipped": []},
+        {"seq": 8, "event": "ct_advance", "time": 7.0, "workflow": "victim",
+         "index": 2, "lag": 3.0},
+        # After the deadline: already lost, not attributable.
+        {"seq": 9, "event": "decision", "time": 60.0, "workflow": "hog",
+         "task": "h/map-4", "lag": None, "skipped": []},
+        {"seq": 10, "event": "workflow_completed", "time": 70.0,
+         "workflow": "victim", "deadline": 50.0, "met": False},
+    ]
+
+
+class TestExplainMiss:
+    def test_attribution_buckets(self):
+        exp = explain_miss(synthetic_trace(), "victim")
+        assert exp.deadline == 50.0
+        assert exp.submit_time == 1.0
+        assert exp.completion_time == 70.0
+        assert exp.missed is True
+        assert exp.tardiness == 20.0
+        assert exp.served == 1
+        # hog's wins at t=2 and t=5; the t=4 one saw the victim skipped and
+        # the t=0.5/t=60 ones fall outside the danger window.
+        assert exp.outranked == 2
+        assert exp.lost_to == {"hog": 2}
+        # skipped at t=4 plus the idle call at t=6.
+        assert exp.not_runnable == 2
+        assert exp.max_lag == 3.0  # the ct_advance tops the served lag of 2.0
+
+    def test_best_effort_never_missed(self):
+        exp = explain_miss(synthetic_trace(), "hog")
+        assert exp.deadline is None
+        assert exp.missed is False
+        assert exp.tardiness == 0.0
+        assert exp.served >= 1
+
+    def test_summary_mentions_winners(self):
+        text = explain_miss(synthetic_trace(), "victim").summary()
+        assert "victim" in text
+        assert "MISSED" in text
+        assert "hog (2x)" in text
+
+    def test_truncated_trace_leaves_window_open(self):
+        # Drop the lifecycle markers, as a small ring buffer would.
+        events = [e for e in synthetic_trace()
+                  if e["event"] not in ("workflow_submitted", "workflow_completed")]
+        exp = explain_miss(events, "victim")
+        assert exp.deadline is None
+        assert exp.missed is False  # unknowable without a deadline
+        # Every decision now falls in the (unbounded) window.
+        assert exp.served == 1
+        assert exp.outranked == 4
+
+    def test_end_to_end_from_traced_run(self, tiny_cluster):
+        """Starve a tight workflow behind a hog and read the miss off the
+        dumped JSONL trace."""
+        import io
+
+        hog = WorkflowBuilder("hog").job("h", maps=30, reduces=0, map_s=20).build()
+        tight = (
+            WorkflowBuilder("tight")
+            .job("t", maps=4, reduces=0, map_s=10)
+            .deadline(relative=25.0)
+            .submit_at(1.0)
+            .build()
+        )
+        sim = ClusterSimulation(tiny_cluster, FifoScheduler(), trace=True)
+        sim.add_workflows([hog, tight])
+        result = sim.run()
+        assert not result.stats["tight"].met_deadline
+        events = read_jsonl(io.StringIO(result.tracer.dumps_jsonl()))
+        exp = explain_miss(events, "tight")
+        assert exp.missed is True
+        assert exp.outranked > 0
+        assert "hog" in exp.lost_to

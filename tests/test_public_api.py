@@ -16,6 +16,7 @@ MODULES = [
     "repro.noise",
     "repro.estimate",
     "repro.registry",
+    "repro.trace",
     "repro.cli",
     "repro.workflow",
     "repro.workflow.model",
@@ -96,7 +97,8 @@ class TestDocstringCoverage:
     @pytest.mark.parametrize(
         "module_name",
         ["repro.core.plangen", "repro.core.scheduler", "repro.core.progress",
-         "repro.structures.skiplist", "repro.structures.dsl", "repro.cluster.jobtracker"],
+         "repro.structures.skiplist", "repro.structures.dsl", "repro.cluster.jobtracker",
+         "repro.trace"],
     )
     def test_public_callables_documented(self, module_name):
         """Every public class and function in the core modules carries a

@@ -1,0 +1,147 @@
+"""Unit tests for the decision-tracing layer (repro.trace)."""
+
+import io
+import json
+
+import pytest
+
+from repro.trace import DecisionTracer, NULL_TRACER, NullTracer, read_jsonl
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        # No-ops must accept the full recording surface without effect.
+        NULL_TRACER.record("decision", 1.0, workflow="w", lag=3.5)
+        NULL_TRACER.incr("WOHA", "decisions")
+        assert isinstance(NULL_TRACER, NullTracer)
+
+
+class TestRecording:
+    def test_events_are_sequenced(self):
+        tracer = DecisionTracer()
+        tracer.record("decision", 1.0, workflow="a")
+        tracer.record("assign", 2.0, workflow="a", task="j/map-0")
+        events = tracer.events()
+        assert [e["seq"] for e in events] == [0, 1]
+        assert [e["event"] for e in events] == ["decision", "assign"]
+        assert events[0]["workflow"] == "a"
+
+    def test_non_finite_floats_become_none(self):
+        tracer = DecisionTracer()
+        tracer.record("decision", 0.0, lag=float("-inf"), other=float("nan"), ok=1.5)
+        event = tracer.events()[0]
+        assert event["lag"] is None
+        assert event["other"] is None
+        assert event["ok"] == 1.5
+
+    def test_event_filter(self):
+        tracer = DecisionTracer()
+        tracer.record("decision", 0.0)
+        tracer.record("assign", 1.0)
+        tracer.record("decision", 2.0)
+        assert len(tracer.events("decision")) == 2
+        assert len(tracer.events("assign")) == 1
+        assert len(tracer) == 3
+
+
+class TestRingBuffer:
+    def test_capacity_evicts_oldest_and_counts_drops(self):
+        tracer = DecisionTracer(capacity=3)
+        for i in range(5):
+            tracer.record("decision", float(i))
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        # Sequence numbers keep rising across evictions.
+        assert [e["seq"] for e in tracer.events()] == [2, 3, 4]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTracer(capacity=0)
+
+    def test_counters_survive_eviction(self):
+        tracer = DecisionTracer(capacity=1)
+        for _ in range(10):
+            tracer.record("decision", 0.0)
+            tracer.incr("WOHA", "decisions")
+        assert len(tracer) == 1
+        assert tracer.counters[("WOHA", "decisions")] == 10
+
+
+class TestCounters:
+    def test_counter_table_groups_by_scheduler(self):
+        tracer = DecisionTracer()
+        tracer.incr("WOHA", "decisions")
+        tracer.incr("WOHA", "decisions")
+        tracer.incr("WOHA", "assign_wait_seconds", 2.5)
+        tracer.incr("FIFO", "decisions")
+        assert tracer.counter_table() == {
+            "WOHA": {"decisions": 2, "assign_wait_seconds": 2.5},
+            "FIFO": {"decisions": 1},
+        }
+
+    def test_clear(self):
+        tracer = DecisionTracer(capacity=1)
+        tracer.record("decision", 0.0)
+        tracer.record("decision", 1.0)
+        tracer.incr("WOHA", "decisions")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+        assert not tracer.counters
+        tracer.record("decision", 2.0)
+        # Sequencing continues: cleared tracers don't reuse old seq numbers.
+        assert tracer.events()[0]["seq"] == 2
+
+
+class TestJsonl:
+    def test_roundtrip_via_file_object(self):
+        tracer = DecisionTracer()
+        tracer.record("decision", 1.0, workflow="w", lag=0.5, skipped=["x"])
+        tracer.record("assign", 2.0, workflow="w", task="j/map-0", wait=None)
+        buf = io.StringIO()
+        assert tracer.to_jsonl(buf) == 2
+        loaded = read_jsonl(io.StringIO(buf.getvalue()))
+        assert loaded == tracer.events()
+
+    def test_dumps_matches_to_jsonl(self):
+        tracer = DecisionTracer()
+        tracer.record("decision", 1.0, workflow="w")
+        buf = io.StringIO()
+        tracer.to_jsonl(buf)
+        assert tracer.dumps_jsonl() == buf.getvalue()
+
+    def test_read_jsonl_from_path(self, tmp_path):
+        tracer = DecisionTracer()
+        tracer.record("decision", 1.0, workflow="w", lag=float("inf"))
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w") as fh:
+            tracer.to_jsonl(fh)
+        loaded = read_jsonl(str(path))
+        assert loaded[0]["workflow"] == "w"
+        assert loaded[0]["lag"] is None  # inf is not JSON; mapped to null
+
+    def test_every_line_is_standard_json(self):
+        tracer = DecisionTracer()
+        tracer.record("decision", 0.0, lag=float("-inf"))
+        for line in tracer.dumps_jsonl().splitlines():
+            json.loads(line)  # must not need allow_nan extensions
+            assert "Infinity" not in line and "NaN" not in line
+
+
+class TestListenerHooks:
+    def test_workflow_lifecycle_events(self):
+        class Wip:
+            name = "w"
+            deadline = 100.0
+            total_tasks = 7
+
+        tracer = DecisionTracer()
+        tracer.on_workflow_submitted(Wip(), 1.0)
+        tracer.on_workflow_completed(Wip(), 120.0)
+        submitted, completed = tracer.events()
+        assert submitted["event"] == "workflow_submitted"
+        assert submitted["deadline"] == 100.0
+        assert submitted["total_tasks"] == 7
+        assert completed["event"] == "workflow_completed"
+        assert completed["met"] is False
