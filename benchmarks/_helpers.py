@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.cluster.config import ClusterConfig
 from repro.cluster.simulation import ClusterSimulation, SimulationResult
 from repro.core.client import make_planner
+from repro.core.plancache import PlanCache
 from repro.core.scheduler import WohaScheduler
 from repro.schedulers.edf import EdfScheduler
 from repro.schedulers.fair import FairScheduler
@@ -25,14 +26,22 @@ from repro.workloads.yahoo import YahooTraceConfig, generate_yahoo_workflows
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: One plan cache per WOHA stack, shared by every bench in the session.
+#: Cached plans are byte-identical to freshly generated ones
+#: (tests/integration/test_plan_equivalence.py), so this only removes the
+#: repeated cap searches when several benches replan the same workloads.
+PLAN_CACHES: Dict[str, PlanCache] = {
+    name: PlanCache(capacity=1024) for name in ("WOHA-HLF", "WOHA-MPF", "WOHA-LPF")
+}
+
 #: The six stacks of the paper's evaluation, in its plotting order.
 STACKS: List[Tuple[str, Callable[[], Tuple[object, str, Optional[Callable]]]]] = [
     ("EDF", lambda: (EdfScheduler(), "oozie", None)),
     ("FIFO", lambda: (FifoScheduler(), "oozie", None)),
     ("Fair", lambda: (FairScheduler(), "oozie", None)),
-    ("WOHA-HLF", lambda: (WohaScheduler(), "woha", make_planner("hlf"))),
-    ("WOHA-MPF", lambda: (WohaScheduler(), "woha", make_planner("mpf"))),
-    ("WOHA-LPF", lambda: (WohaScheduler(), "woha", make_planner("lpf"))),
+    ("WOHA-HLF", lambda: (WohaScheduler(), "woha", make_planner("hlf", plan_cache=PLAN_CACHES["WOHA-HLF"]))),
+    ("WOHA-MPF", lambda: (WohaScheduler(), "woha", make_planner("mpf", plan_cache=PLAN_CACHES["WOHA-MPF"]))),
+    ("WOHA-LPF", lambda: (WohaScheduler(), "woha", make_planner("lpf", plan_cache=PLAN_CACHES["WOHA-LPF"]))),
 ]
 
 #: The paper's Fig 8-10 cluster sizes: "200m-200r" etc.

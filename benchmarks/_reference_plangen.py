@@ -1,0 +1,314 @@
+"""The pre-fast-path planning pipeline, preserved as a reference oracle.
+
+This module is a frozen copy of the planning path as it stood before the
+fast-path rewrite: the Algorithm 1 kernel with an ``active`` list and an
+O(|A|) candidate rescan per assignment, the cap binary search starting at
+``lo = 1`` with no memoisation and no analytic seeding, and
+``capped_plan`` re-running the simulation at the found cap instead of
+reusing the search's final probe.
+
+It exists for two consumers:
+
+* ``tests/integration/test_plan_equivalence.py`` asserts the fast path
+  emits byte-identical ``ProgressPlan``s over the evaluation corpus;
+* ``benchmarks/bench_plan_throughput.py`` measures the speedup against it.
+
+Do not "fix" or optimise this module — its value is staying exactly what
+the old path computed.  The shared ``_batches_to_plan`` post-processing is
+imported from ``repro.core.plangen`` because it was not changed by the
+rewrite.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.capsearch import CapSearchResult, SplitCapSearchResult, _split_caps
+from repro.core.plangen import _batches_to_plan
+from repro.core.progress import ProgressPlan
+from repro.workflow.model import Workflow
+
+_FREE = 0
+_ADD = 1
+
+
+class _SimJob:
+    """Mutable per-job counters for the plan simulation."""
+
+    __slots__ = ("name", "maps_left", "reduces_left", "map_dur", "reduce_dur", "rank", "pending")
+
+    def __init__(self, name: str, maps: int, reduces: int, map_dur: float, reduce_dur: float, rank: int, pending: int):
+        self.name = name
+        self.maps_left = maps
+        self.reduces_left = reduces
+        self.map_dur = map_dur
+        self.reduce_dur = reduce_dur
+        self.rank = rank
+        self.pending = pending  # unfinished prerequisites
+
+
+def _simulate(
+    workflow: Workflow,
+    cap: int,
+    job_order: Sequence[str],
+    pooled: bool,
+    reduce_cap: int = 0,
+) -> Tuple[List[Tuple[float, int]], float]:
+    if cap < 1:
+        raise ValueError("resource cap must be >= 1")
+    rank = {name: i for i, name in enumerate(job_order)}
+    missing = set(workflow.job_names()) - set(rank)
+    if missing:
+        raise ValueError(f"job_order missing jobs: {sorted(missing)}")
+
+    jobs: Dict[str, _SimJob] = {}
+    for wjob in workflow.jobs:
+        jobs[wjob.name] = _SimJob(
+            wjob.name,
+            wjob.num_maps,
+            wjob.num_reduces,
+            wjob.map_duration,
+            wjob.reduce_duration,
+            rank[wjob.name],
+            len(wjob.prerequisites),
+        )
+
+    active: List[_SimJob] = [jobs[name] for name in workflow.roots()]
+    events: List[Tuple[float, int, int, object]] = []  # (time, seq, type, value)
+    seq = itertools.count()
+    free_maps = cap
+    free_reduces = reduce_cap  # unused when pooled
+
+    def push(time: float, etype: int, value) -> None:
+        heapq.heappush(events, (time, next(seq), etype, value))
+
+    batches: List[Tuple[float, int]] = []
+    makespan = 0.0
+
+    def assign(t: float) -> None:
+        nonlocal free_maps, free_reduces
+        while active:
+            candidates = [
+                job
+                for job in active
+                if (job.maps_left > 0 and free_maps > 0)
+                or (
+                    job.maps_left == 0
+                    and job.reduces_left > 0
+                    and ((free_maps if pooled else free_reduces) > 0)
+                )
+            ]
+            if not candidates:
+                break
+            job = min(candidates, key=lambda j: j.rank)
+            if job.maps_left > 0:
+                batch = min(job.maps_left, free_maps)
+                free_maps -= batch
+                job.maps_left -= batch
+                batches.append((t, batch))
+                push(t + job.map_dur, _FREE, ("m", batch))
+                if job.maps_left == 0:
+                    active.remove(job)
+                    push(t + job.map_dur, _ADD, job.name)
+            else:
+                avail = free_maps if pooled else free_reduces
+                batch = min(job.reduces_left, avail)
+                if pooled:
+                    free_maps -= batch
+                else:
+                    free_reduces -= batch
+                job.reduces_left -= batch
+                batches.append((t, batch))
+                push(t + job.reduce_dur, _FREE, ("r", batch))
+                if job.reduces_left == 0:
+                    active.remove(job)
+                    push(t + job.reduce_dur, _ADD, job.name)
+
+    assign(0.0)
+    while events:
+        t = events[0][0]
+        while events and events[0][0] == t:
+            _t, _s, etype, value = heapq.heappop(events)
+            if etype == _FREE:
+                kind, count = value
+                if pooled or kind == "m":
+                    free_maps += count
+                else:
+                    free_reduces += count
+            else:
+                job = jobs[value]
+                if job.maps_left == 0 and job.reduces_left == 0:
+                    makespan = max(makespan, t)
+                    for dep in workflow.dependents(value):
+                        dep_job = jobs[dep]
+                        dep_job.pending -= 1
+                        if dep_job.pending == 0:
+                            active.append(dep_job)
+                else:
+                    active.append(job)
+        assign(t)
+    if active:
+        raise RuntimeError("plan simulation stalled with active jobs and no events")
+    unfinished = [j.name for j in jobs.values() if j.maps_left or j.reduces_left]
+    if unfinished:
+        raise RuntimeError(f"plan simulation left jobs unscheduled: {unfinished}")
+    return batches, makespan
+
+
+def reference_generate_requirements(
+    workflow: Workflow,
+    cap: int,
+    job_order: Optional[Sequence[str]] = None,
+    feasible: bool = True,
+) -> ProgressPlan:
+    order = tuple(job_order) if job_order is not None else workflow.topological_order()
+    batches, makespan = _simulate(workflow, cap, order, pooled=True)
+    return _batches_to_plan(batches, makespan, order, cap, workflow.total_tasks, feasible)
+
+
+def reference_generate_requirements_split(
+    workflow: Workflow,
+    map_cap: int,
+    reduce_cap: int,
+    job_order: Optional[Sequence[str]] = None,
+    feasible: bool = True,
+) -> ProgressPlan:
+    if reduce_cap < 1:
+        raise ValueError("reduce cap must be >= 1")
+    order = tuple(job_order) if job_order is not None else workflow.topological_order()
+    batches, makespan = _simulate(workflow, map_cap, order, pooled=False, reduce_cap=reduce_cap)
+    return _batches_to_plan(
+        batches, makespan, order, map_cap + reduce_cap, workflow.total_tasks, feasible
+    )
+
+
+def _reference_makespan(workflow, cap, job_order):
+    order = tuple(job_order) if job_order is not None else workflow.topological_order()
+    return _simulate(workflow, cap, order, pooled=True)[1]
+
+
+def reference_find_min_cap(
+    workflow: Workflow,
+    max_slots: int,
+    relative_deadline: Optional[float] = None,
+    job_order: Optional[Sequence[str]] = None,
+) -> CapSearchResult:
+    """The unseeded ``lo = 1`` binary search, one fresh simulation per probe."""
+    if max_slots < 1:
+        raise ValueError("max_slots must be >= 1")
+    if relative_deadline is None:
+        relative_deadline = workflow.relative_deadline
+    probes = 0
+    if relative_deadline is None:
+        makespan = _reference_makespan(workflow, max_slots, job_order)
+        return CapSearchResult(cap=max_slots, feasible=True, makespan=makespan, probes=1)
+
+    makespan_at_max = _reference_makespan(workflow, max_slots, job_order)
+    probes += 1
+    if makespan_at_max > relative_deadline:
+        return CapSearchResult(cap=max_slots, feasible=False, makespan=makespan_at_max, probes=probes)
+
+    lo, hi = 1, max_slots  # invariant: hi is feasible
+    best_makespan = makespan_at_max
+    while lo < hi:
+        mid = (lo + hi) // 2
+        makespan = _reference_makespan(workflow, mid, job_order)
+        probes += 1
+        if makespan <= relative_deadline:
+            hi = mid
+            best_makespan = makespan
+        else:
+            lo = mid + 1
+    return CapSearchResult(cap=hi, feasible=True, makespan=best_makespan, probes=probes)
+
+
+def reference_capped_plan(
+    workflow: Workflow,
+    max_slots: int,
+    job_order: Optional[Sequence[str]] = None,
+    relative_deadline: Optional[float] = None,
+) -> ProgressPlan:
+    """Old behaviour: search, then re-simulate from scratch at the found cap."""
+    result = reference_find_min_cap(workflow, max_slots, relative_deadline, job_order)
+    return reference_generate_requirements(workflow, result.cap, job_order, feasible=result.feasible)
+
+
+def reference_find_min_cap_split(
+    workflow: Workflow,
+    max_slots: int,
+    map_fraction: float = 2.0 / 3.0,
+    relative_deadline: Optional[float] = None,
+    job_order: Optional[Sequence[str]] = None,
+) -> SplitCapSearchResult:
+    if max_slots < 2:
+        raise ValueError("split cap search needs at least 2 slots")
+    if not (0.0 < map_fraction < 1.0):
+        raise ValueError("map_fraction must be in (0, 1)")
+    if relative_deadline is None:
+        relative_deadline = workflow.relative_deadline
+
+    def makespan_at(k: int) -> float:
+        mc, rc = _split_caps(k, max_slots, map_fraction)
+        return reference_generate_requirements_split(workflow, mc, rc, job_order).makespan
+
+    if relative_deadline is None:
+        mc, rc = _split_caps(max_slots, max_slots, map_fraction)
+        return SplitCapSearchResult(mc, rc, True, makespan_at(max_slots), probes=1)
+
+    probes = 1
+    top = makespan_at(max_slots)
+    if top > relative_deadline:
+        mc, rc = _split_caps(max_slots, max_slots, map_fraction)
+        return SplitCapSearchResult(mc, rc, False, top, probes)
+    lo, hi = 2, max_slots
+    best = top
+    while lo < hi:
+        mid = (lo + hi) // 2
+        makespan = makespan_at(mid)
+        probes += 1
+        if makespan <= relative_deadline:
+            hi = mid
+            best = makespan
+        else:
+            lo = mid + 1
+    mc, rc = _split_caps(hi, max_slots, map_fraction)
+    return SplitCapSearchResult(mc, rc, True, best, probes)
+
+
+def reference_capped_plan_split(
+    workflow: Workflow,
+    max_slots: int,
+    map_fraction: float = 2.0 / 3.0,
+    job_order: Optional[Sequence[str]] = None,
+    relative_deadline: Optional[float] = None,
+) -> ProgressPlan:
+    result = reference_find_min_cap_split(workflow, max_slots, map_fraction, relative_deadline, job_order)
+    return reference_generate_requirements_split(
+        workflow, result.map_cap, result.reduce_cap, job_order, feasible=result.feasible
+    )
+
+
+def reference_planner(prioritizer, cap_search: bool = True, pool: str = "pooled", map_fraction: float = 2.0 / 3.0):
+    """``(workflow, total_slots) -> ProgressPlan`` on the old path — the
+    shape :func:`repro.core.client.make_planner` returns, for side-by-side
+    corpus runs."""
+    from repro.core.priorities import PRIORITIZERS
+
+    chosen = PRIORITIZERS[prioritizer] if isinstance(prioritizer, str) else prioritizer
+
+    def planner(workflow: Workflow, total_slots: int) -> ProgressPlan:
+        job_order = chosen(workflow)
+        if pool == "split":
+            if cap_search:
+                return reference_capped_plan_split(workflow, total_slots, map_fraction, job_order)
+            map_cap = max(1, round(total_slots * map_fraction))
+            return reference_generate_requirements_split(
+                workflow, map_cap, max(1, total_slots - map_cap), job_order
+            )
+        if cap_search:
+            return reference_capped_plan(workflow, total_slots, job_order)
+        return reference_generate_requirements(workflow, total_slots, job_order, feasible=True)
+
+    return planner

@@ -1,0 +1,142 @@
+"""Plan-generation throughput: fast path vs. the frozen reference path.
+
+Two scenarios, matching how the planning fast path earns its keep:
+
+* **cold** — every workflow of the Yahoo! trace planned once, nothing
+  cached: isolates the heap kernel + memoised/seeded cap search + final-
+  probe reuse (``benchmarks/_reference_plangen`` is the old path).
+* **warm** — a 20-instance recurrent workload where the plan cache serves
+  every dated instance after the first from one entry.
+
+Besides the printed table, the run records a machine-readable
+``BENCH_plan_throughput.json`` at the repo root so subsequent PRs have a
+perf trajectory to compare against.  The JSON shape is pinned by
+``tests/integration/test_bench_plan_throughput_guard.py``.
+
+The measurement test is marked ``perf`` and therefore deselected by the
+default ``-m "not perf"`` addopts; run it explicitly with
+``pytest benchmarks/bench_plan_throughput.py -m perf``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.core.client import make_planner
+from repro.core.plancache import PlanCache
+from repro.metrics.report import format_table
+from repro.workflow.builder import WorkflowBuilder
+from repro.workflow.model import Workflow
+from repro.workloads.recurrence import Recurrence, expand_recurrences
+
+from benchmarks._helpers import emit, yahoo_trace
+from benchmarks._reference_plangen import reference_planner
+
+#: Trajectory file, kept at the repo root next to the other stock-taking docs.
+JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_plan_throughput.json")
+
+#: Fig 8's 200m+200r cluster, the slot count the trace was sized for.
+TOTAL_SLOTS = 400
+
+#: Keys the guard test pins so the trajectory file cannot silently rot.
+SCENARIO_KEYS = ("cold_pooled", "cold_split", "warm_recurrent")
+RATE_KEYS = ("reference_plans_per_sec", "fast_plans_per_sec", "speedup")
+
+
+def recurrent_instances(count: int = 20) -> List[Workflow]:
+    """Dated instances of one periodic ETL-style pipeline (paper Fig 12)."""
+    template = (
+        WorkflowBuilder("hourly-etl")
+        .job("ingest", maps=64, reduces=8, map_s=30.0, reduce_s=60.0)
+        .job("clean", maps=32, reduces=4, map_s=20.0, reduce_s=45.0, after=["ingest"])
+        .job("join", maps=48, reduces=12, map_s=25.0, reduce_s=90.0, after=["ingest"])
+        .job("aggregate", maps=16, reduces=4, map_s=15.0, reduce_s=30.0, after=["clean", "join"])
+        .job("publish", maps=4, reduces=1, map_s=10.0, reduce_s=20.0, after=["aggregate"])
+        .deadline(relative=3000.0)
+        .build()
+    )
+    return expand_recurrences(template, Recurrence(period=3600.0, count=count))
+
+
+def _plans_per_sec(planner, workflows: Sequence[Workflow], total_slots: int, repeats: int) -> float:
+    """Best-of-``repeats`` full-corpus planning rate."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for workflow in workflows:
+            planner(workflow, total_slots)
+        best = min(best, time.perf_counter() - start)
+    return len(workflows) / best
+
+
+def run_bench(
+    trace: Optional[Sequence[Workflow]] = None,
+    instances: Optional[Sequence[Workflow]] = None,
+    total_slots: int = TOTAL_SLOTS,
+    repeats: int = 5,
+) -> Dict[str, object]:
+    """Measure all scenarios and return the trajectory payload."""
+    trace = list(trace) if trace is not None else list(yahoo_trace())
+    instances = list(instances) if instances is not None else recurrent_instances()
+
+    scenarios: Dict[str, Dict[str, float]] = {}
+    for scenario, pool in (("cold_pooled", "pooled"), ("cold_split", "split")):
+        ref = _plans_per_sec(reference_planner("lpf", pool=pool), trace, total_slots, repeats)
+        fast = _plans_per_sec(make_planner("lpf", pool=pool), trace, total_slots, repeats)
+        scenarios[scenario] = {
+            "reference_plans_per_sec": round(ref, 1),
+            "fast_plans_per_sec": round(fast, 1),
+            "speedup": round(fast / ref, 2),
+        }
+
+    ref = _plans_per_sec(reference_planner("lpf"), instances, total_slots, repeats)
+    cached = make_planner("lpf", plan_cache=PlanCache())
+    for workflow in instances:  # prime: the first instance builds the entry
+        cached(workflow, total_slots)
+    warm = _plans_per_sec(cached, instances, total_slots, repeats)
+    scenarios["warm_recurrent"] = {
+        "reference_plans_per_sec": round(ref, 1),
+        "fast_plans_per_sec": round(warm, 1),
+        "speedup": round(warm / ref, 2),
+    }
+
+    return {
+        "bench": "plan_throughput",
+        "total_slots": total_slots,
+        "corpus": {"trace_workflows": len(trace), "recurrent_instances": len(instances)},
+        "scenarios": scenarios,
+    }
+
+
+def write_json(payload: Dict[str, object], path: str = JSON_PATH) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+@pytest.mark.perf
+def test_plan_throughput():
+    payload = run_bench()
+    scenarios = payload["scenarios"]
+
+    rows = [
+        [name] + [scenarios[name][key] for key in RATE_KEYS]
+        for name in SCENARIO_KEYS
+    ]
+    table = format_table(
+        ["scenario", "reference/s", "fast/s", "speedup"],
+        rows,
+        title=f"Plan generation throughput ({TOTAL_SLOTS} slots)",
+        float_fmt="{:.1f}",
+    )
+    emit("plan_throughput", table)
+    write_json(payload)
+
+    # The tentpole's acceptance bars (ISSUE 2).
+    assert scenarios["cold_pooled"]["speedup"] >= 3.0
+    assert scenarios["warm_recurrent"]["speedup"] >= 10.0

@@ -41,6 +41,7 @@ from repro.registry import parse_scheduler_config, register_plan_generator, regi
 from repro.workloads.recurrence import Recurrence, expand_recurrences
 from repro.core.capsearch import CapSearchResult, find_min_cap
 from repro.core.client import WohaClient, make_planner
+from repro.core.plancache import PlanCache
 from repro.core.plangen import generate_requirements
 from repro.core.priorities import PRIORITIZERS, hlf_order, lpf_order, mpf_order
 from repro.core.progress import ProgressEntry, ProgressPlan
@@ -76,6 +77,7 @@ __all__ = [
     "WorkflowStats",
     "CapSearchResult",
     "find_min_cap",
+    "PlanCache",
     "WohaClient",
     "make_planner",
     "generate_requirements",

@@ -144,6 +144,11 @@ class ClusterSimulation:
         if submission == "oozie":
             self.oozie = OozieCoordinator(self.sim, self.jobtracker)
         self._workflows: List[Workflow] = []
+        # Maintained from the workflow-completed listener hook so the
+        # heartbeat run loop's per-event _all_done() check is O(1) instead
+        # of a scan over every WorkflowInProgress.
+        self._completed_workflows = 0
+        self.jobtracker.add_listener(self)
 
     def add_workflow(self, workflow: Workflow) -> None:
         """Queue a workflow for submission at its ``submit_time``."""
@@ -202,8 +207,13 @@ class ClusterSimulation:
             tracer=self.tracer,
         )
 
+    def on_workflow_completed(self, wip, now: float) -> None:
+        """JobTracker listener hook (fires exactly once per workflow)."""
+        self._completed_workflows += 1
+
     def _all_done(self) -> bool:
-        wfs = self.jobtracker.workflows
-        return len(wfs) == len(self._workflows) and all(
-            wip.completion_time is not None for wip in wfs.values()
-        )
+        # Counting completions is equivalent to scanning for a None
+        # completion_time: the JobTracker fires the completion hook exactly
+        # once per WorkflowInProgress, when it sets completion_time.
+        submitted = len(self.jobtracker.workflows)
+        return submitted == len(self._workflows) and self._completed_workflows == submitted

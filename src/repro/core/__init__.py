@@ -3,6 +3,7 @@
 * :mod:`repro.core.progress` — the progress-requirement plan ``F_i``;
 * :mod:`repro.core.plangen` — Algorithm 1 (client-side plan generation);
 * :mod:`repro.core.capsearch` — the resource-cap binary search (§IV-A);
+* :mod:`repro.core.plancache` — recurrence-aware plan cache (beyond the paper);
 * :mod:`repro.core.priorities` — HLF / LPF / MPF intra-workflow orders;
 * :mod:`repro.core.scheduler` — Algorithm 2 on the Double Skip List;
 * :mod:`repro.core.client` — the WOHA client (validate → plan → submit).
@@ -11,6 +12,7 @@
 from repro.core.progress import ProgressEntry, ProgressPlan
 from repro.core.plangen import generate_requirements, simulate_makespan
 from repro.core.capsearch import find_min_cap, CapSearchResult
+from repro.core.plancache import PlanCache
 from repro.core.priorities import hlf_order, lpf_order, mpf_order, PRIORITIZERS
 from repro.core.scheduler import WohaScheduler, NaiveWohaScheduler
 from repro.core.client import WohaClient, make_planner
@@ -22,6 +24,7 @@ __all__ = [
     "simulate_makespan",
     "find_min_cap",
     "CapSearchResult",
+    "PlanCache",
     "hlf_order",
     "lpf_order",
     "mpf_order",

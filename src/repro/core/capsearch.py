@@ -7,19 +7,37 @@ too late (the paper's Fig 2a).  Capping the simulated slots makes the plan
 demand steady progress.  The paper proposes a binary search for the
 *minimum* cap under which the simulated makespan still meets the deadline:
 the least optimistic plan that is still feasible.
+
+Beyond the paper (probe reuse, DESIGN.md §6): every probe within a search
+is memoised, midpoints below an analytic floor are branched on without
+simulating — two lower bounds hold for *any* schedule the simulator can
+produce (the work-area bound ``makespan >= total_work / cap`` and a
+critical-path bound summing each chain job's phase spans at the probed
+cap), so a midpoint under the floor is infeasible with certainty — and the
+batches of the final feasible probe are retained on the result so
+``capped_plan`` / ``capped_plan_split`` build the :class:`ProgressPlan`
+directly instead of re-running Algorithm 1 at the found cap.  The
+bisection trajectory itself is the naive lo=1 search's, so the returned
+cap is identical by construction; the bounds are applied with a
+conservative epsilon so floating-point drift can only lower the floor
+(costing probes, never a different answer); ``probes`` keeps counting
+actual simulations, so the Fig 13b accounting stays honest.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.plangen import (
+    _batches_to_plan,
+    _SimProblem,
     generate_requirements,
     generate_requirements_split,
-    simulate_makespan,
 )
 from repro.core.progress import ProgressPlan
+from repro.workflow.dag import critical_path
 from repro.workflow.model import Workflow
 
 __all__ = [
@@ -29,7 +47,15 @@ __all__ = [
     "find_min_cap_split",
     "capped_plan",
     "capped_plan_split",
+    "plan_from_search",
 ]
+
+# Relative slack applied to the analytic bounds: a cap is ruled out only
+# when its bound exceeds the deadline by more than this margin, so the
+# seeding can never disagree with the simulated verdict over float noise.
+_BOUND_EPS = 1e-9
+
+_Batches = List[Tuple[float, int]]
 
 
 @dataclass(frozen=True)
@@ -40,6 +66,82 @@ class CapSearchResult:
     feasible: bool
     makespan: float
     probes: int  # number of Algorithm 1 simulations performed
+    # Batches of the simulation at ``cap``, retained so the caller can
+    # build the plan without re-simulating.  Excluded from equality/repr:
+    # it is derived state, fully determined by the other fields.
+    batches: Optional[_Batches] = field(default=None, repr=False, compare=False)
+
+
+@dataclass(frozen=True)
+class SplitCapSearchResult:
+    """Outcome of the split-pool binary search."""
+
+    map_cap: int
+    reduce_cap: int
+    feasible: bool
+    makespan: float
+    probes: int
+    batches: Optional[_Batches] = field(default=None, repr=False, compare=False)
+
+
+def _resolve_order(workflow: Workflow, job_order: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    return tuple(job_order) if job_order is not None else workflow.topological_order()
+
+
+def _chain_time(
+    jobs: Sequence,  # WJob along the critical path
+    map_cap: int,
+    reduce_cap: int,
+) -> float:
+    """Lower bound on the makespan contributed by one dependency chain.
+
+    Chain jobs run strictly in sequence (a dependent unlocks only on
+    completion, and a reduce phase opens only when its map phase drains),
+    and a phase with ``m`` tasks on ``c`` slots spans at least
+    ``max(duration, m * duration / c)`` by the slot-area argument.  No
+    ceil(): concurrent batches of one phase can overlap once other jobs
+    free slots mid-phase, so the wave count is not a sound bound — the
+    area is.
+    """
+    total = 0.0
+    for job in jobs:
+        if job.num_maps:
+            span = job.num_maps * job.map_duration / map_cap
+            total += span if span > job.map_duration else job.map_duration
+        if job.num_reduces:
+            span = job.num_reduces * job.reduce_duration / reduce_cap
+            total += span if span > job.reduce_duration else job.reduce_duration
+    return total
+
+
+def _seed_lo_pooled(workflow: Workflow, deadline: float, max_slots: int) -> int:
+    """Smallest cap the analytic bounds cannot rule out (pooled slots)."""
+    lo = 1
+    if deadline <= 0:
+        return lo
+    total_work = workflow.total_work
+    if total_work > 0:
+        # Work-area bound: cap * makespan >= total_work.
+        ratio = total_work / deadline
+        lo = max(lo, math.ceil(ratio - _BOUND_EPS * (ratio if ratio > 1.0 else 1.0)))
+    if lo >= max_slots:
+        return max_slots
+    chain_jobs = [workflow.job(name) for name in critical_path(workflow)]
+    slack = deadline + _BOUND_EPS * (abs(deadline) if abs(deadline) > 1.0 else 1.0)
+    if _chain_time(chain_jobs, lo, lo) > slack:
+        # Chain time is non-increasing in the cap; find the smallest cap
+        # the chain bound admits.  max_slots always qualifies (the caller
+        # only seeds after probing it feasible, and the bound is a lower
+        # bound on the simulated makespan).
+        low, high = lo, max_slots
+        while low < high:
+            mid = (low + high) // 2
+            if _chain_time(chain_jobs, mid, mid) > slack:
+                low = mid + 1
+            else:
+                high = mid
+        lo = low
+    return min(lo, max_slots)
 
 
 def find_min_cap(
@@ -61,41 +163,101 @@ def find_min_cap(
         The minimal feasible cap, or ``cap == max_slots`` with
         ``feasible=False`` when even the whole cluster cannot meet the
         deadline in simulation (the plan is then the most optimistic one
-        available, which is all a best-effort scheduler can do).
+        available, which is all a best-effort scheduler can do).  The
+        result retains the batches of the simulation at the returned cap.
 
     The paper relies on makespan being non-increasing in the cap.  Our
     greedy list simulation can in principle exhibit Graham anomalies; the
-    binary search matches the paper, and the final plan is regenerated at
-    the returned cap, so any anomaly costs only plan quality, never
-    correctness.
+    binary search matches the paper, and the final plan is built from the
+    probe at the returned cap, so any anomaly costs only plan quality,
+    never correctness.  The analytic floor only suppresses simulations
+    whose infeasible verdict is already certain, so the search visits the
+    same midpoints and returns the same cap as the unpruned search —
+    anomalies or not.
     """
     if max_slots < 1:
         raise ValueError("max_slots must be >= 1")
     if relative_deadline is None:
         relative_deadline = workflow.relative_deadline
+    order = _resolve_order(workflow, job_order)
+    problem = _SimProblem(workflow, order)  # setup shared by every probe
+    memo: Dict[int, Tuple[Optional[_Batches], float]] = {}
     probes = 0
+
+    def probe(cap: int) -> Tuple[Optional[_Batches], float]:
+        nonlocal probes
+        cached = memo.get(cap)
+        if cached is None:
+            probes += 1
+            cached = problem.run(cap, pooled=True)
+            memo[cap] = cached
+        return cached
+
     if relative_deadline is None:
         # Best-effort workflow: no deadline to honour; plan at full size.
-        makespan = simulate_makespan(workflow, max_slots, job_order)
-        return CapSearchResult(cap=max_slots, feasible=True, makespan=makespan, probes=1)
+        batches, makespan = probe(max_slots)
+        return CapSearchResult(
+            cap=max_slots, feasible=True, makespan=makespan, probes=probes, batches=batches
+        )
 
-    makespan_at_max = simulate_makespan(workflow, max_slots, job_order)
-    probes += 1
+    batches_at_max, makespan_at_max = probe(max_slots)
     if makespan_at_max > relative_deadline:
-        return CapSearchResult(cap=max_slots, feasible=False, makespan=makespan_at_max, probes=probes)
+        return CapSearchResult(
+            cap=max_slots,
+            feasible=False,
+            makespan=makespan_at_max,
+            probes=probes,
+            batches=batches_at_max,
+        )
 
-    lo, hi = 1, max_slots  # invariant: hi is feasible
-    best_makespan = makespan_at_max
+    # Invariant: hi is feasible.  The bisection trajectory is the naive
+    # lo=1 search's, unchanged — but any midpoint below the analytic floor
+    # is provably infeasible (the bounds lower-bound the simulated
+    # makespan), so its branch is taken without running Algorithm 1.
+    floor = _seed_lo_pooled(workflow, relative_deadline, max_slots)
+    lo, hi = 1, max_slots
     while lo < hi:
         mid = (lo + hi) // 2
-        makespan = simulate_makespan(workflow, mid, job_order)
-        probes += 1
+        if mid < floor:
+            lo = mid + 1
+            continue
+        _batches, makespan = probe(mid)
         if makespan <= relative_deadline:
             hi = mid
-            best_makespan = makespan
         else:
             lo = mid + 1
-    return CapSearchResult(cap=hi, feasible=True, makespan=best_makespan, probes=probes)
+    batches, best_makespan = memo[hi]
+    return CapSearchResult(
+        cap=hi, feasible=True, makespan=best_makespan, probes=probes, batches=batches
+    )
+
+
+def plan_from_search(
+    workflow: Workflow,
+    job_order: Sequence[str],
+    result: "CapSearchResult | SplitCapSearchResult",
+) -> ProgressPlan:
+    """Build the :class:`ProgressPlan` a search result stands for.
+
+    Uses the batches retained from the search's final probe when present
+    (no re-simulation); otherwise falls back to re-running Algorithm 1 at
+    the found cap(s) — e.g. for a hand-constructed result.  ``job_order``
+    must be the order the search ran with.
+    """
+    order = tuple(job_order)
+    if isinstance(result, CapSearchResult):
+        cap = result.cap
+    else:
+        cap = result.map_cap + result.reduce_cap
+    if result.batches is not None:
+        return _batches_to_plan(
+            result.batches, result.makespan, order, cap, workflow.total_tasks, result.feasible
+        )
+    if isinstance(result, CapSearchResult):
+        return generate_requirements(workflow, cap, order, feasible=result.feasible)
+    return generate_requirements_split(
+        workflow, result.map_cap, result.reduce_cap, order, feasible=result.feasible
+    )
 
 
 def capped_plan(
@@ -104,20 +266,10 @@ def capped_plan(
     job_order: Optional[Sequence[str]] = None,
     relative_deadline: Optional[float] = None,
 ) -> ProgressPlan:
-    """Convenience: cap search + final plan generation at the found cap."""
-    result = find_min_cap(workflow, max_slots, relative_deadline, job_order)
-    return generate_requirements(workflow, result.cap, job_order, feasible=result.feasible)
-
-
-@dataclass(frozen=True)
-class SplitCapSearchResult:
-    """Outcome of the split-pool binary search."""
-
-    map_cap: int
-    reduce_cap: int
-    feasible: bool
-    makespan: float
-    probes: int
+    """Convenience: cap search + plan built from the search's final probe."""
+    order = _resolve_order(workflow, job_order)
+    result = find_min_cap(workflow, max_slots, relative_deadline, order)
+    return plan_from_search(workflow, order, result)
 
 
 def _split_caps(k: int, total: int, map_fraction: float) -> "tuple[int, int]":
@@ -135,6 +287,46 @@ def _split_caps(k: int, total: int, map_fraction: float) -> "tuple[int, int]":
     return map_cap, reduce_cap
 
 
+def _seed_lo_split(
+    workflow: Workflow,
+    deadline: float,
+    max_slots: int,
+    map_fraction: float,
+    floor: int,
+) -> int:
+    """Smallest total ``k`` the analytic bounds cannot rule out (split pools)."""
+    lo = floor
+    if deadline <= 0:
+        return lo
+    total_work = workflow.total_work
+    if total_work > 0:
+        # ``_split_caps`` yields at most k + 1 slots in total, so the
+        # work-area bound on k is one looser than the pooled one.
+        ratio = total_work / deadline
+        lo = max(lo, math.ceil(ratio - _BOUND_EPS * (ratio if ratio > 1.0 else 1.0)) - 1)
+    lo = max(floor, min(lo, max_slots))
+    if lo >= max_slots:
+        return max_slots
+    chain_jobs = [workflow.job(name) for name in critical_path(workflow)]
+    slack = deadline + _BOUND_EPS * (abs(deadline) if abs(deadline) > 1.0 else 1.0)
+
+    def chain_at(k: int) -> float:
+        mc, rc = _split_caps(k, max_slots, map_fraction)
+        return _chain_time(chain_jobs, mc, rc)
+
+    # Both caps are non-decreasing in k, so chain_at is non-increasing.
+    if chain_at(lo) > slack:
+        low, high = lo, max_slots
+        while low < high:
+            mid = (low + high) // 2
+            if chain_at(mid) > slack:
+                low = mid + 1
+            else:
+                high = mid
+        lo = low
+    return min(lo, max_slots)
+
+
 def find_min_cap_split(
     workflow: Workflow,
     max_slots: int,
@@ -150,42 +342,63 @@ def find_min_cap_split(
     is nominally following.  This search scales a (map, reduce) cap pair in
     the cluster's own pool ratio (``map_fraction``) and finds the smallest
     total that still meets the deadline under the split model.
+
+    A one-slot cluster degrades gracefully (the search floor clamps to the
+    slot count and ``_split_caps`` floors both pools at one), mirroring the
+    pooled search rather than rejecting the configuration.  Distinct totals
+    ``k`` can scale to the same ``(map_cap, reduce_cap)`` pair; the probe
+    memo collapses them, so ``probes`` counts distinct simulations.
     """
-    if max_slots < 2:
-        raise ValueError("split cap search needs at least 2 slots")
+    if max_slots < 1:
+        raise ValueError("max_slots must be >= 1")
     if not (0.0 < map_fraction < 1.0):
         raise ValueError("map_fraction must be in (0, 1)")
     if relative_deadline is None:
         relative_deadline = workflow.relative_deadline
+    order = _resolve_order(workflow, job_order)
+    problem = _SimProblem(workflow, order)  # setup shared by every probe
+    memo: Dict[Tuple[int, int], Tuple[Optional[_Batches], float]] = {}
+    probes = 0
 
-    def makespan_at(k: int) -> float:
-        mc, rc = _split_caps(k, max_slots, map_fraction)
-        return generate_requirements_split(workflow, mc, rc, job_order).makespan
+    def probe(k: int) -> Tuple[Optional[_Batches], float]:
+        nonlocal probes
+        key = _split_caps(k, max_slots, map_fraction)
+        cached = memo.get(key)
+        if cached is None:
+            probes += 1
+            mc, rc = key
+            cached = problem.run(mc, pooled=False, reduce_cap=rc)
+            memo[key] = cached
+        return cached
 
     if relative_deadline is None:
         # Best-effort workflow: no deadline to honour; plan at full size
         # (mirrors find_min_cap's early return, one probe).
         mc, rc = _split_caps(max_slots, max_slots, map_fraction)
-        return SplitCapSearchResult(mc, rc, True, makespan_at(max_slots), probes=1)
+        batches, makespan = probe(max_slots)
+        return SplitCapSearchResult(mc, rc, True, makespan, probes, batches)
 
-    probes = 1
-    top = makespan_at(max_slots)
+    batches_at_max, top = probe(max_slots)
     if top > relative_deadline:
         mc, rc = _split_caps(max_slots, max_slots, map_fraction)
-        return SplitCapSearchResult(mc, rc, False, top, probes)
-    lo, hi = 2, max_slots
-    best = top
+        return SplitCapSearchResult(mc, rc, False, top, probes, batches_at_max)
+
+    start = min(2, max_slots)
+    floor = _seed_lo_split(workflow, relative_deadline, max_slots, map_fraction, start)
+    lo, hi = start, max_slots
     while lo < hi:
         mid = (lo + hi) // 2
-        makespan = makespan_at(mid)
-        probes += 1
+        if mid < floor:
+            lo = mid + 1
+            continue
+        _batches, makespan = probe(mid)
         if makespan <= relative_deadline:
             hi = mid
-            best = makespan
         else:
             lo = mid + 1
     mc, rc = _split_caps(hi, max_slots, map_fraction)
-    return SplitCapSearchResult(mc, rc, True, best, probes)
+    batches, best = memo[(mc, rc)]
+    return SplitCapSearchResult(mc, rc, True, best, probes, batches)
 
 
 def capped_plan_split(
@@ -195,8 +408,7 @@ def capped_plan_split(
     job_order: Optional[Sequence[str]] = None,
     relative_deadline: Optional[float] = None,
 ) -> ProgressPlan:
-    """Split-pool cap search + plan generation at the found caps."""
-    result = find_min_cap_split(workflow, max_slots, map_fraction, relative_deadline, job_order)
-    return generate_requirements_split(
-        workflow, result.map_cap, result.reduce_cap, job_order, feasible=result.feasible
-    )
+    """Split-pool cap search + plan built from the search's final probe."""
+    order = _resolve_order(workflow, job_order)
+    result = find_min_cap_split(workflow, max_slots, map_fraction, relative_deadline, order)
+    return plan_from_search(workflow, order, result)

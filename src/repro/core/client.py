@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.jobtracker import JobTracker, WorkflowInProgress
-from repro.core.capsearch import find_min_cap
+from repro.core.capsearch import find_min_cap, plan_from_search
+from repro.core.plancache import PlanCache, PlanCacheEntry
 from repro.core.plangen import generate_requirements
 from repro.core.priorities import PRIORITIZERS, Prioritizer
 from repro.core.progress import ProgressPlan
@@ -28,6 +29,38 @@ from repro.workflow.model import Workflow, WorkflowValidationError
 from repro.workflow.xmlconfig import parse_workflow_xml
 
 __all__ = ["ValidationReport", "WohaClient", "make_planner"]
+
+
+def _plan_entry(
+    workflow: Workflow,
+    job_order: Sequence[str],
+    total_slots: int,
+    cap_search: bool,
+    pool: str = "pooled",
+    map_fraction: float = 2.0 / 3.0,
+) -> PlanCacheEntry:
+    """One full planning run: ``(cap-search result, plan)``.
+
+    The unit both :class:`WohaClient` and :func:`make_planner` compute, and
+    the unit :class:`~repro.core.plancache.PlanCache` stores.  The search
+    result is ``None`` when cap search is off.
+    """
+    order = tuple(job_order)
+    if pool == "split":
+        from repro.core.capsearch import find_min_cap_split
+        from repro.core.plangen import generate_requirements_split
+
+        if cap_search:
+            result = find_min_cap_split(workflow, total_slots, map_fraction, job_order=order)
+            return result, plan_from_search(workflow, order, result)
+        map_cap = max(1, round(total_slots * map_fraction))
+        return None, generate_requirements_split(
+            workflow, map_cap, max(1, total_slots - map_cap), order
+        )
+    if cap_search:
+        result = find_min_cap(workflow, total_slots, job_order=order)
+        return result, plan_from_search(workflow, order, result)
+    return None, generate_requirements(workflow, total_slots, order, feasible=True)
 
 
 @dataclass(frozen=True)
@@ -65,6 +98,9 @@ class WohaClient:
         cap_search: when False, plans are generated at the full system slot
             count (the paper's pre-improvement behaviour, kept for the
             Fig 2 ablation).
+        plan_cache: optional :class:`~repro.core.plancache.PlanCache`;
+            recurrent instances of one template then share a single cap
+            search + Algorithm 1 run.
     """
 
     def __init__(
@@ -73,11 +109,13 @@ class WohaClient:
         hdfs: Optional[HdfsNamespace] = None,
         prioritizer: Union[str, Prioritizer] = "lpf",
         cap_search: bool = True,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         self.jobtracker = jobtracker
         self.hdfs = hdfs
         self.prioritizer = _resolve_prioritizer(prioritizer)
         self.cap_search = cap_search
+        self.plan_cache = plan_cache
 
     # -- Configuration Validator -------------------------------------------------
 
@@ -110,12 +148,16 @@ class WohaClient:
         if total_slots is None:
             total_slots = self.jobtracker.total_slots  # the one master query
         job_order = self.prioritizer(workflow)
-        if self.cap_search:
-            result = find_min_cap(workflow, total_slots, job_order=job_order)
-            cap, feasible = result.cap, result.feasible
-        else:
-            cap, feasible = total_slots, True
-        return generate_requirements(workflow, cap, job_order, feasible=feasible)
+        if self.plan_cache is not None:
+            _result, plan = self.plan_cache.get_or_build(
+                workflow,
+                job_order,
+                total_slots,
+                mode=("pooled", self.cap_search),
+                build=lambda: _plan_entry(workflow, job_order, total_slots, self.cap_search),
+            )
+            return plan
+        return _plan_entry(workflow, job_order, total_slots, self.cap_search)[1]
 
     # -- submission -------------------------------------------------------------------
 
@@ -140,6 +182,7 @@ def make_planner(
     cap_search: bool = True,
     pool: str = "pooled",
     map_fraction: float = 2.0 / 3.0,
+    plan_cache: Optional[PlanCache] = None,
 ) -> Callable[[Workflow, int], ProgressPlan]:
     """A standalone planner for :class:`~repro.cluster.simulation.ClusterSimulation`.
 
@@ -150,6 +193,9 @@ def make_planner(
         pool: ``"pooled"`` runs the paper's Algorithm 1 (one slot pool);
             ``"split"`` runs the split-pool ablation, modelling map and
             reduce slots separately in the cluster's ``map_fraction`` mix.
+        plan_cache: optional :class:`~repro.core.plancache.PlanCache`
+            shared across the planner's invocations (and, if desired,
+            across planners); recurrent workflow instances then plan once.
     """
     chosen = _resolve_prioritizer(prioritizer)
     if pool not in ("pooled", "split"):
@@ -157,21 +203,17 @@ def make_planner(
 
     def planner(workflow: Workflow, total_slots: int) -> ProgressPlan:
         job_order = chosen(workflow)
-        if pool == "split":
-            from repro.core.capsearch import capped_plan_split, find_min_cap_split
-            from repro.core.plangen import generate_requirements_split
-
-            if cap_search:
-                return capped_plan_split(workflow, total_slots, map_fraction, job_order)
-            map_cap = max(1, round(total_slots * map_fraction))
-            return generate_requirements_split(
-                workflow, map_cap, max(1, total_slots - map_cap), job_order
+        if plan_cache is not None:
+            _result, plan = plan_cache.get_or_build(
+                workflow,
+                job_order,
+                total_slots,
+                mode=(pool, cap_search, map_fraction),
+                build=lambda: _plan_entry(
+                    workflow, job_order, total_slots, cap_search, pool, map_fraction
+                ),
             )
-        if cap_search:
-            result = find_min_cap(workflow, total_slots, job_order=job_order)
-            cap, feasible = result.cap, result.feasible
-        else:
-            cap, feasible = total_slots, True
-        return generate_requirements(workflow, cap, job_order, feasible=feasible)
+            return plan
+        return _plan_entry(workflow, job_order, total_slots, cap_search, pool, map_fraction)[1]
 
     return planner

@@ -19,12 +19,22 @@ and we implement the evident intent):
 
 As in the paper, map and reduce slots are pooled into the single cap ``n``;
 ``generate_requirements_split`` is our split-pool ablation (DESIGN.md §6).
+
+Performance: planning throughput *is* WOHA's scalability story — all the
+expensive analysis runs client-side (§III-B), so the kernel below is the
+hot loop of every cap-search probe.  Runnable jobs live in rank-keyed
+binary heaps (one pooled heap, or separate map-/reduce-phase heaps in split
+mode) so each assignment is an O(log |A|) pop instead of an O(|A|)
+candidate rescan, and ``collect_batches=False`` lets makespan-only probes
+skip materialising batch lists entirely.  Job ranks are unique (positions
+in ``job_order``), so heap selection reproduces the previous
+min-over-candidates scan decision-for-decision: same batches, same event
+times, same makespan, bit-for-bit.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heapify, heappop, heappush
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.progress import ProgressEntry, ProgressPlan
@@ -32,23 +42,236 @@ from repro.workflow.model import Workflow
 
 __all__ = ["generate_requirements", "generate_requirements_split", "simulate_makespan"]
 
-_FREE = 0
-_ADD = 1
+# Event codes; ``seq`` is unique, so tuple comparison never reaches the
+# code or payload.  Plain FREE events are (time, seq, code, count);
+# FREE+ADD events are (time, seq, code, count, rank).  A phase's last
+# batch frees its slots *and* re-activates the job at the same instant
+# with consecutive sequence numbers — nothing can drain between the two —
+# so the pair is fused into one event.
+_FREE_MAP = 0
+_FREE_REDUCE = 1
+_FREE_MAP_ADD = 2
+_FREE_REDUCE_ADD = 3
 
 
-class _SimJob:
-    """Mutable per-job counters for the plan simulation."""
+class _SimProblem:
+    """The per-(workflow, job_order) setup of the Algorithm 1 simulation.
 
-    __slots__ = ("name", "maps_left", "reduces_left", "map_dur", "reduce_dur", "rank", "pending")
+    Building the rank index, the per-job counter arrays and the
+    rank-resolved dependency lists costs as much as simulating a small
+    workflow — and the cap search runs ~log(n) simulations over the *same*
+    workflow and order.  This class does that setup once; :meth:`run`
+    copies the mutable counters and executes the event loop for one cap.
+    """
 
-    def __init__(self, name: str, maps: int, reduces: int, map_dur: float, reduce_dur: float, rank: int, pending: int):
-        self.name = name
-        self.maps_left = maps
-        self.reduces_left = reduces
-        self.map_dur = map_dur
-        self.reduce_dur = reduce_dur
-        self.rank = rank
-        self.pending = pending  # unfinished prerequisites
+    __slots__ = (
+        "workflow",
+        "order",
+        "size",
+        "maps0",
+        "reduces0",
+        "map_dur",
+        "reduce_dur",
+        "pending0",
+        "name_of",
+        "dependents",
+        "root_ranks",
+    )
+
+    def __init__(self, workflow: Workflow, job_order: Sequence[str]) -> None:
+        rank: Dict[str, int] = {name: i for i, name in enumerate(job_order)}
+        missing = set(workflow.job_names()) - set(rank)
+        if missing:
+            raise ValueError(f"job_order missing jobs: {sorted(missing)}")
+        self.workflow = workflow
+        self.order = tuple(job_order)
+        size = len(rank)
+        self.size = size
+        # Per-job state, indexed by rank (= priority: lower runs first).
+        self.maps0 = [0] * size
+        self.reduces0 = [0] * size
+        self.map_dur = [0.0] * size
+        self.reduce_dur = [0.0] * size
+        self.pending0 = [0] * size  # unfinished prerequisites
+        self.name_of: List[Optional[str]] = [None] * size
+        self.dependents: List[Tuple[int, ...]] = [()] * size
+        for wjob in workflow.jobs:
+            r = rank[wjob.name]
+            self.maps0[r] = wjob.num_maps
+            self.reduces0[r] = wjob.num_reduces
+            self.map_dur[r] = wjob.map_duration
+            self.reduce_dur[r] = wjob.reduce_duration
+            self.pending0[r] = len(wjob.prerequisites)
+            self.name_of[r] = wjob.name
+            self.dependents[r] = tuple(rank[d] for d in workflow.dependents(wjob.name))
+        self.root_ranks = tuple(rank[root] for root in workflow.roots())
+
+    def run(
+        self,
+        cap: int,
+        pooled: bool,
+        reduce_cap: int = 0,
+        collect_batches: bool = True,
+    ) -> Tuple[Optional[List[Tuple[float, int]]], float]:
+        """Simulate at one cap; see :func:`_simulate` for the contract."""
+        if cap < 1:
+            raise ValueError("resource cap must be >= 1")
+        maps_left = self.maps0.copy()
+        reduces_left = self.reduces0.copy()
+        map_dur = self.map_dur
+        reduce_dur = self.reduce_dur
+        pending = self.pending0.copy()
+        dependents = self.dependents
+
+        # Runnable heaps keyed by rank.  Pooled mode keeps one heap (both
+        # phases draw from the same slot pool); split mode keeps map-phase
+        # and reduce-phase eligibility apart so the min-rank pick only
+        # considers jobs whose pool actually has a free slot.
+        map_heap: List[int] = []
+        reduce_heap: List[int] = []
+        for r in self.root_ranks:
+            if pooled or maps_left[r] > 0:
+                map_heap.append(r)
+            else:
+                reduce_heap.append(r)
+        heapify(map_heap)
+        heapify(reduce_heap)
+
+        events: List[Tuple[float, int, int, int]] = []
+        seq = 0
+        free_maps = cap
+        free_reduces = reduce_cap  # unused when pooled
+        batches: Optional[List[Tuple[float, int]]] = [] if collect_batches else None
+        makespan = 0.0
+        t = 0.0
+        push = heappush
+        pop = heappop
+
+        while True:
+            # Work-conserving assignment at instant ``t``.  All batches of
+            # one instant are recorded as a single (t, count) entry: time
+            # strictly increases between rounds (durations are positive),
+            # so this is exactly the adjacent same-time merge
+            # ``_batches_to_plan`` would perform anyway.
+            made = 0
+            if pooled:
+                while free_maps > 0 and map_heap:
+                    r = pop(map_heap)
+                    m = maps_left[r]
+                    if m > 0:
+                        batch = m if m <= free_maps else free_maps
+                        free_maps -= batch
+                        maps_left[r] = m - batch
+                        finish = t + map_dur[r]
+                    else:
+                        m = reduces_left[r]
+                        batch = m if m <= free_maps else free_maps
+                        free_maps -= batch
+                        reduces_left[r] = m - batch
+                        finish = t + reduce_dur[r]
+                    made += batch
+                    if m == batch:
+                        # Phase exhausted: free the slots and re-activate
+                        # (reduce phase or completion) in one fused event.
+                        push(events, (finish, seq, _FREE_MAP_ADD, batch, r))
+                    else:
+                        push(events, (finish, seq, _FREE_MAP, batch))
+                        push(map_heap, r)  # partial batch: pool is now dry
+                    seq += 1
+            else:
+                while True:
+                    take_map = free_maps > 0 and bool(map_heap)
+                    take_reduce = free_reduces > 0 and bool(reduce_heap)
+                    if take_map and take_reduce:
+                        if map_heap[0] < reduce_heap[0]:
+                            take_reduce = False
+                        else:
+                            take_map = False
+                    if take_map:
+                        r = pop(map_heap)
+                        m = maps_left[r]
+                        batch = m if m <= free_maps else free_maps
+                        free_maps -= batch
+                        maps_left[r] = m - batch
+                        finish = t + map_dur[r]
+                        made += batch
+                        if m == batch:
+                            push(events, (finish, seq, _FREE_MAP_ADD, batch, r))
+                        else:
+                            push(events, (finish, seq, _FREE_MAP, batch))
+                            push(map_heap, r)
+                        seq += 1
+                    elif take_reduce:
+                        r = pop(reduce_heap)
+                        m = reduces_left[r]
+                        batch = m if m <= free_reduces else free_reduces
+                        free_reduces -= batch
+                        reduces_left[r] = m - batch
+                        finish = t + reduce_dur[r]
+                        made += batch
+                        if m == batch:
+                            push(events, (finish, seq, _FREE_REDUCE_ADD, batch, r))
+                        else:
+                            push(events, (finish, seq, _FREE_REDUCE, batch))
+                            push(reduce_heap, r)
+                        seq += 1
+                    else:
+                        break
+            if made and batches is not None:
+                batches.append((t, made))
+            if not events:
+                break
+            t = events[0][0]
+            # Drain every event at this instant before assigning.
+            while events:
+                head = events[0]
+                if head[0] != t:
+                    break
+                code = head[2]
+                pop(events)
+                if code == _FREE_MAP:
+                    free_maps += head[3]
+                    continue
+                if code == _FREE_REDUCE:
+                    free_reduces += head[3]
+                    continue
+                if code == _FREE_MAP_ADD:
+                    free_maps += head[3]
+                else:
+                    free_reduces += head[3]
+                value = head[4]
+                if maps_left[value] == 0 and reduces_left[value] == 0:
+                    # Last phase finished: record completion, unlock deps.
+                    if t > makespan:
+                        makespan = t
+                    for dep in dependents[value]:
+                        pending[dep] -= 1
+                        if pending[dep] == 0:
+                            if pooled or maps_left[dep] > 0:
+                                push(map_heap, dep)
+                            else:
+                                push(reduce_heap, dep)
+                else:
+                    # Map phase done; reduce phase opens.
+                    if pooled or maps_left[value] > 0:
+                        push(map_heap, value)
+                    else:
+                        push(reduce_heap, value)
+
+        if map_heap or reduce_heap:
+            raise RuntimeError(
+                "plan simulation stalled with active jobs and no events — "
+                "this indicates a slot-accounting bug"
+            )
+        name_of = self.name_of
+        unfinished = [
+            name_of[r]
+            for r in range(self.size)
+            if name_of[r] is not None and (maps_left[r] or reduces_left[r])
+        ]
+        if unfinished:
+            raise RuntimeError(f"plan simulation left jobs unscheduled: {unfinished}")
+        return batches, makespan
 
 
 def _simulate(
@@ -57,124 +280,22 @@ def _simulate(
     job_order: Sequence[str],
     pooled: bool,
     reduce_cap: int = 0,
-) -> Tuple[List[Tuple[float, int]], float]:
-    """Run the Algorithm 1 simulation.
+    collect_batches: bool = True,
+) -> Tuple[Optional[List[Tuple[float, int]]], float]:
+    """Run the Algorithm 1 simulation (one-shot entry point).
 
-    Returns ``(batches, makespan)`` where each batch is ``(time, count)``.
-    With ``pooled`` False, ``cap`` bounds map slots and ``reduce_cap``
-    reduce slots (the split-pool ablation).
+    Returns ``(batches, makespan)`` where each batch is ``(time, count)``;
+    ``batches`` is ``None`` when ``collect_batches`` is False (the
+    makespan-only fast path used by external makespan queries).  With
+    ``pooled`` False, ``cap`` bounds map slots and ``reduce_cap`` reduce
+    slots (the split-pool ablation).  Callers probing several caps over one
+    workflow should build a :class:`_SimProblem` and call :meth:`run`.
     """
     if cap < 1:
         raise ValueError("resource cap must be >= 1")
-    rank = {name: i for i, name in enumerate(job_order)}
-    missing = set(workflow.job_names()) - set(rank)
-    if missing:
-        raise ValueError(f"job_order missing jobs: {sorted(missing)}")
-
-    jobs: Dict[str, _SimJob] = {}
-    for wjob in workflow.jobs:
-        jobs[wjob.name] = _SimJob(
-            wjob.name,
-            wjob.num_maps,
-            wjob.num_reduces,
-            wjob.map_duration,
-            wjob.reduce_duration,
-            rank[wjob.name],
-            len(wjob.prerequisites),
-        )
-
-    # Active queue: jobs with an open phase.  Sorted scan per pick is fine —
-    # |A| <= jobs in the workflow and the client runs this off-master.
-    active: List[_SimJob] = [jobs[name] for name in workflow.roots()]
-    events: List[Tuple[float, int, int, object]] = []  # (time, seq, type, value)
-    seq = itertools.count()
-    free_maps = cap
-    free_reduces = reduce_cap  # unused when pooled
-
-    def push(time: float, etype: int, value) -> None:
-        heapq.heappush(events, (time, next(seq), etype, value))
-
-    batches: List[Tuple[float, int]] = []
-    makespan = 0.0
-
-    def assign(t: float) -> None:
-        """Work-conserving assignment at instant ``t``."""
-        nonlocal free_maps, free_reduces
-        while active:
-            candidates = [
-                job
-                for job in active
-                if (job.maps_left > 0 and free_maps > 0)
-                or (
-                    job.maps_left == 0
-                    and job.reduces_left > 0
-                    and ((free_maps if pooled else free_reduces) > 0)
-                )
-            ]
-            if not candidates:
-                break
-            job = min(candidates, key=lambda j: j.rank)
-            if job.maps_left > 0:
-                batch = min(job.maps_left, free_maps)
-                free_maps -= batch
-                job.maps_left -= batch
-                batches.append((t, batch))
-                push(t + job.map_dur, _FREE, ("m", batch))
-                if job.maps_left == 0:
-                    active.remove(job)
-                    # The job reappears (for its reduce phase) or completes
-                    # when its last map batch finishes.
-                    push(t + job.map_dur, _ADD, job.name)
-            else:
-                avail = free_maps if pooled else free_reduces
-                batch = min(job.reduces_left, avail)
-                if pooled:
-                    free_maps -= batch
-                else:
-                    free_reduces -= batch
-                job.reduces_left -= batch
-                batches.append((t, batch))
-                push(t + job.reduce_dur, _FREE, ("r", batch))
-                if job.reduces_left == 0:
-                    active.remove(job)
-                    push(t + job.reduce_dur, _ADD, job.name)
-
-    assign(0.0)
-    while events:
-        t = events[0][0]
-        # Drain every event at this instant before assigning.
-        while events and events[0][0] == t:
-            _t, _s, etype, value = heapq.heappop(events)
-            if etype == _FREE:
-                kind, count = value
-                if pooled or kind == "m":
-                    free_maps += count
-                else:
-                    free_reduces += count
-            else:  # _ADD: a job finished a phase or got unlocked
-                job = jobs[value]
-                if job.maps_left == 0 and job.reduces_left == 0:
-                    # Last phase finished: record completion, unlock deps.
-                    makespan = max(makespan, t)
-                    for dep in workflow.dependents(value):
-                        dep_job = jobs[dep]
-                        dep_job.pending -= 1
-                        if dep_job.pending == 0:
-                            active.append(dep_job)
-                else:
-                    # Map phase done; reduce phase opens.
-                    active.append(job)
-        assign(t)
-    if active:
-        raise RuntimeError(
-            "plan simulation stalled with active jobs and no events — "
-            "this indicates a slot-accounting bug"
-        )
-
-    unfinished = [j.name for j in jobs.values() if j.maps_left or j.reduces_left]
-    if unfinished:
-        raise RuntimeError(f"plan simulation left jobs unscheduled: {unfinished}")
-    return batches, makespan
+    return _SimProblem(workflow, job_order).run(
+        cap, pooled, reduce_cap=reduce_cap, collect_batches=collect_batches
+    )
 
 
 def _batches_to_plan(
@@ -262,7 +383,8 @@ def generate_requirements_split(
 
 def simulate_makespan(workflow: Workflow, cap: int, job_order: Optional[Sequence[str]] = None) -> float:
     """Makespan of the Algorithm 1 simulation at ``cap`` slots (cap search
-    subroutine)."""
+    subroutine).  Uses the no-batch fast path: nothing is materialised
+    beyond the event queue."""
     order = tuple(job_order) if job_order is not None else workflow.topological_order()
-    _batches, makespan = _simulate(workflow, cap, order, pooled=True)
+    _batches, makespan = _simulate(workflow, cap, order, pooled=True, collect_batches=False)
     return makespan

@@ -22,6 +22,10 @@ philosophy as Algorithm 1 itself:
 :class:`ReplanningWohaScheduler` drops in anywhere :class:`WohaScheduler`
 does; the replan itself would run client-side in a real deployment (the
 master only swaps the stored plan), so master-side cost stays at the swap.
+A regenerated plan that is infeasible even at full cluster size is
+declined: feasibility survives installation, so swapping it in would
+demote the workflow to best-effort priority — a strictly worse outcome
+than keeping the stale plan's scheduling pressure.
 """
 
 from __future__ import annotations
@@ -139,6 +143,14 @@ class ReplanningWohaScheduler(WohaScheduler):
             job_order=self.prioritizer(residual),
             relative_deadline=remaining_time,
         )
+        if not plan.feasible:
+            # Even the whole cluster cannot finish the remainder in time.
+            # Installing this plan would demote the workflow to best-effort
+            # (infeasible plans carry -inf lag priority), guaranteeing it
+            # misses by more than if it keeps pushing on its stale plan —
+            # so keep the stale plan's scheduling pressure.  The cooldown
+            # stamp above still spaces out re-evaluations.
+            return
         record.install_plan(plan, now)
         self.replans += 1
         # Reposition under the new keys.

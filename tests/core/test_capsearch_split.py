@@ -37,9 +37,19 @@ class TestFindMinCapSplit:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            find_min_cap_split(reduce_heavy(), max_slots=1)
+            find_min_cap_split(reduce_heavy(), max_slots=0)
         with pytest.raises(ValueError):
             find_min_cap_split(reduce_heavy(), max_slots=10, map_fraction=1.5)
+
+    def test_one_slot_cluster_degrades_gracefully(self):
+        """A 1-slot cluster used to raise; the callers only guarantee
+        max_slots >= 1, so the search now clamps its floor instead and
+        plans against the (1, 1) pool pair ``_split_caps`` floors to."""
+        result = find_min_cap_split(reduce_heavy(), max_slots=1, relative_deadline=10_000.0)
+        assert (result.map_cap, result.reduce_cap) == (1, 1)
+        assert result.feasible
+        plan = capped_plan_split(reduce_heavy(), max_slots=1, relative_deadline=10_000.0)
+        assert plan.total_tasks == reduce_heavy().total_tasks
 
     def test_probes_match_pooled_search_for_best_effort(self):
         """Regression: the no-deadline path used to fall through into the

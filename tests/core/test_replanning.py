@@ -85,7 +85,9 @@ class TestReplanningScheduler:
             WorkflowBuilder("w")
             .job("a", maps=10, reduces=3, map_s=10, reduce_s=20)
             .job("b", maps=10, reduces=3, map_s=10, reduce_s=20, after=["a"])
-            .deadline(relative=260)
+            # Loose enough that the regenerated residual plan is feasible
+            # (an infeasible one is declined, not installed).
+            .deadline(relative=300)
             .build()
         )
         sim.add_workflow(wf)
@@ -106,6 +108,36 @@ class TestReplanningScheduler:
         sim.add_workflow(wf)
         sim.run()
         assert eager.replans <= 1  # one replan, then the cooldown blocks
+
+    def test_infeasible_replan_is_not_installed(self, monkeypatch):
+        """A residual plan even the whole cluster cannot meet must not
+        replace the stale feasible plan — installing it would demote the
+        workflow to best-effort and guarantee a bigger miss."""
+        import repro.core.replanning as replanning_module
+
+        produced = []
+        orig = replanning_module.capped_plan
+
+        def recording_capped_plan(*args, **kwargs):
+            plan = orig(*args, **kwargs)
+            produced.append(plan.feasible)
+            return plan
+
+        monkeypatch.setattr(replanning_module, "capped_plan", recording_capped_plan)
+        scheduler = ReplanningWohaScheduler(min_lag=5, lag_fraction=0.05, cooldown=30.0)
+        sim = build_sim(scheduler, sigma=1.2)
+        wf = (
+            WorkflowBuilder("w")
+            .job("a", maps=10, reduces=3, map_s=10, reduce_s=20)
+            .job("b", maps=10, reduces=3, map_s=10, reduce_s=20, after=["a"])
+            .deadline(relative=350)
+            .build()
+        )
+        sim.add_workflow(wf)
+        sim.run()
+        assert False in produced  # the scenario did regenerate an infeasible plan
+        # Only the feasible regenerations were installed (counted).
+        assert scheduler.replans == sum(1 for f in produced if f) == 1
 
     def test_same_decisions_as_plain_without_triggers(self, small_workflow):
         plain_sim = build_sim(WohaScheduler())

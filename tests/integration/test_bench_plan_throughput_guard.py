@@ -1,0 +1,57 @@
+"""Guard for the plan-throughput trajectory file.
+
+``benchmarks/bench_plan_throughput.py`` is ``perf``-marked and excluded
+from the tier-1 suite, so nothing else would notice if a refactor broke
+its JSON emission until the next time someone compared trajectories.  This
+tier-1 test runs the bench machinery on a toy corpus (one repeat, two tiny
+workflows) and pins the payload shape and JSON round-trip.
+"""
+
+import json
+
+from benchmarks.bench_plan_throughput import (
+    RATE_KEYS,
+    SCENARIO_KEYS,
+    recurrent_instances,
+    run_bench,
+    write_json,
+)
+from repro.workflow.builder import WorkflowBuilder
+
+
+def _tiny_trace():
+    return [
+        WorkflowBuilder("t1")
+        .job("a", maps=6, reduces=2, map_s=10.0, reduce_s=15.0)
+        .deadline(relative=200.0)
+        .build(),
+        WorkflowBuilder("t2")
+        .job("a", maps=4, reduces=0, map_s=8.0)
+        .job("b", maps=3, reduces=1, map_s=6.0, reduce_s=9.0, after=["a"])
+        .deadline(relative=150.0)
+        .build(),
+    ]
+
+
+def test_bench_emits_valid_json_with_expected_keys(tmp_path):
+    payload = run_bench(
+        trace=_tiny_trace(),
+        instances=recurrent_instances(count=3),
+        total_slots=16,
+        repeats=1,
+    )
+
+    out = tmp_path / "BENCH_plan_throughput.json"
+    write_json(payload, str(out))
+    parsed = json.loads(out.read_text())
+    assert parsed == payload  # everything in the payload is JSON-serialisable
+
+    assert parsed["bench"] == "plan_throughput"
+    assert parsed["total_slots"] == 16
+    assert parsed["corpus"] == {"trace_workflows": 2, "recurrent_instances": 3}
+    assert set(parsed["scenarios"]) == set(SCENARIO_KEYS)
+    for scenario in parsed["scenarios"].values():
+        assert set(scenario) == set(RATE_KEYS)
+        for key in RATE_KEYS:
+            assert isinstance(scenario[key], (int, float))
+            assert scenario[key] > 0
