@@ -1,0 +1,80 @@
+"""Full-tree determinism-lint latency.
+
+The lint gate in ``tests/analysis/test_lint_gate.py`` runs on every tier-1
+invocation, so its cost is part of the suite's fixed overhead and must stay
+small.  This bench times a full walk of ``src/repro`` (parse + all six
+rules + baseline reconciliation) and enforces the ISSUE's bar: a complete
+run in **under 2 seconds** on the development corpus.
+
+The measurement test is marked ``perf`` and therefore deselected by the
+default ``-m "not perf"`` addopts; run it explicitly with
+``pytest benchmarks/bench_lint_speed.py -m perf``.  The tier-1 shape guard
+lives in ``tests/integration/test_bench_lint_guard.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+import pytest
+
+import repro
+from repro.analysis import lint_paths
+from repro.metrics.report import format_table
+
+from benchmarks._helpers import emit
+
+PACKAGE_ROOT = Path(repro.__file__).parent
+BASELINE = Path(__file__).resolve().parent.parent / "lint-baseline.txt"
+
+#: The ISSUE's acceptance bar for a full-tree lint, in seconds.
+BUDGET_SECONDS = 2.0
+
+
+def run_bench(
+    paths: Optional[Sequence[Path]] = None,
+    baseline: Optional[Path] = None,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Best-of-``repeats`` full lint; returns timing + corpus stats."""
+    paths = list(paths) if paths is not None else [PACKAGE_ROOT]
+    baseline = baseline if baseline is not None else BASELINE
+    best = float("inf")
+    report = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        report = lint_paths(paths, baseline_path=baseline)
+        best = min(best, time.perf_counter() - start)
+    return {
+        "bench": "lint_speed",
+        "files_checked": report.files_checked,
+        "violations": len(report.violations),
+        "best_seconds": round(best, 3),
+        "files_per_sec": round(report.files_checked / best, 1),
+        "budget_seconds": BUDGET_SECONDS,
+    }
+
+
+@pytest.mark.perf
+def test_full_tree_lint_under_budget():
+    payload = run_bench()
+    table = format_table(
+        ["files", "violations", "best (s)", "files/s", "budget (s)"],
+        [[
+            payload["files_checked"],
+            payload["violations"],
+            payload["best_seconds"],
+            payload["files_per_sec"],
+            payload["budget_seconds"],
+        ]],
+        title="Determinism lint, full src/repro walk",
+        float_fmt="{:.3f}",
+    )
+    emit("lint_speed", table)
+    assert payload["best_seconds"] < BUDGET_SECONDS
+
+
+if __name__ == "__main__":
+    print(run_bench())

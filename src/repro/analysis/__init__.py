@@ -1,0 +1,46 @@
+"""Static determinism lint + runtime invariant contracts (DESIGN.md §8).
+
+Two halves of one guarantee:
+
+* :mod:`repro.analysis.rules` / :mod:`repro.analysis.engine` — an AST lint
+  that statically rejects determinism hazards (rule ids ``DT101``-``DT106``)
+  in the scheduler's decision paths.  CLI: ``repro lint``.
+* :mod:`repro.analysis.contracts` — runtime checkers asserting the DSL
+  cross-link, skip-list level monotonicity, Algorithm 1 plan monotonicity
+  and prerequisite-respecting dispatch, zero-cost when disabled.
+"""
+
+from repro.analysis.contracts import (
+    NULL_CONTRACTS,
+    ContractChecker,
+    ContractMonitor,
+    ContractViolation,
+    NullContractChecker,
+)
+from repro.analysis.engine import (
+    LintError,
+    LintReport,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    module_key,
+)
+from repro.analysis.rules import DECISION_PATH_DIRS, RULES, Violation, scan_module
+
+__all__ = [
+    "RULES",
+    "DECISION_PATH_DIRS",
+    "Violation",
+    "scan_module",
+    "LintError",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "module_key",
+    "ContractViolation",
+    "ContractChecker",
+    "ContractMonitor",
+    "NullContractChecker",
+    "NULL_CONTRACTS",
+]

@@ -13,14 +13,22 @@ Commands:
 * ``trace-decisions`` — run a scenario with decision tracing on and dump
   the scheduler's decision log as JSONL (optionally explaining one
   workflow's deadline miss from it).
+* ``lint`` — run the determinism lint (:mod:`repro.analysis`) over source
+  trees; exits 1 on violations or a stale baseline, 2 on usage errors.
+
+Scenario subcommands accept ``--contracts`` to enable the runtime
+invariant checks of :mod:`repro.analysis.contracts` during the run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
+import repro
+from repro.analysis import RULES, LintError, lint_paths
 from repro.cluster.config import ClusterConfig
 from repro.cluster.simulation import ClusterSimulation
 from repro.core.client import make_planner
@@ -51,6 +59,8 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--heartbeat", type=float, default=0.0,
                         help="heartbeat interval in seconds; 0 = event-driven (default)")
     parser.add_argument("--pool", choices=("pooled", "split"), default="pooled")
+    parser.add_argument("--contracts", action="store_true",
+                        help="enable runtime invariant checks (repro.analysis.contracts)")
 
 
 def _load_scenario(args: argparse.Namespace) -> List[Workflow]:
@@ -74,7 +84,10 @@ def _build_simulation(args: argparse.Namespace, trace=False) -> ClusterSimulatio
         heartbeat_interval=heartbeat,
     )
     scheduler, mode, planner = _make_scheduler(args.scheduler, args.pool)
-    return ClusterSimulation(config, scheduler, submission=mode, planner=planner, trace=trace)
+    return ClusterSimulation(
+        config, scheduler, submission=mode, planner=planner, trace=trace,
+        contracts=getattr(args, "contracts", False),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -110,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="attribute WORKFLOW's deadline miss from the trace")
     decisions.add_argument("--counters", action="store_true",
                            help="print the per-scheduler decision counters")
+
+    lint = sub.add_parser("lint", help="run the determinism lint over source trees")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: the installed repro package)")
+    lint.add_argument("--baseline", help="known-violation budget file (module:RULE:count lines)")
+    lint.add_argument("--list-rules", action="store_true", help="print the rule catalog and exit")
+    lint.add_argument("--verbose", action="store_true",
+                      help="also list suppressed and baselined violations")
 
     trace = sub.add_parser("trace", help="generate the Yahoo!-like workflow set")
     trace.add_argument("--out", required=True, help="output JSON path")
@@ -182,7 +203,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"\nmiss ratio {result.miss_ratio:.3f} | max tardiness {result.max_tardiness:.1f}s | "
         f"total tardiness {result.total_tardiness:.1f}s | utilization {result.utilization:.2f}"
     )
+    if result.contracts is not None:
+        print(f"contracts: {result.contracts.counters['assertions']} assertions evaluated")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule_id, description in sorted(RULES.items()):
+            print(f"{rule_id}  {description}")
+        return 0
+    paths = args.paths or [str(Path(repro.__file__).parent)]
+    try:
+        report = lint_paths(paths, baseline_path=args.baseline)
+    except (LintError, OSError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    output = report.render(verbose=args.verbose)
+    if output:
+        print(output)
+    # A stale baseline also fails: entries must be deleted as code gets
+    # fixed, so the budget only ever shrinks.
+    return 0 if report.clean and not report.stale_baseline else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -248,6 +290,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "trace-decisions":
         return _cmd_trace_decisions(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

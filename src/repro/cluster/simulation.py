@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Union
 
+from repro.analysis.contracts import ContractChecker, ContractMonitor
 from repro.cluster.config import ClusterConfig
 from repro.cluster.jobtracker import JobTracker
 from repro.events import Simulator
@@ -74,6 +75,8 @@ class SimulationResult:
     events_processed: int
     #: The decision tracer, when the run was started with ``trace=``.
     tracer: Optional[DecisionTracer] = None
+    #: The contract checker, when the run was started with ``contracts=``.
+    contracts: Optional[ContractChecker] = None
 
     @property
     def miss_ratio(self) -> float:
@@ -110,6 +113,16 @@ class ClusterSimulation:
             :class:`~repro.trace.DecisionTracer`; an ``int`` attaches a
             ring buffer of that capacity; a ready-made tracer instance is
             used as given.  Tracing never changes scheduling decisions.
+        contracts: runtime invariant checking
+            (:mod:`repro.analysis.contracts`).  ``False`` (default)
+            disables it; ``True`` attaches a fresh
+            :class:`~repro.analysis.contracts.ContractChecker`; a
+            ready-made checker is used as given.  Checks validate shipped
+            plans, prerequisite-respecting dispatch and (for the WOHA
+            scheduler) Double Skip List consistency on every queue
+            mutation; like tracing they never change a decision, and with
+            a tracer attached their assertion counts land in the same
+            counter table under the ``contracts`` scope.
     """
 
     def __init__(
@@ -120,6 +133,7 @@ class ClusterSimulation:
         planner: Optional[Planner] = None,
         duration_sampler_factory: Optional[Callable] = None,
         trace: Union[bool, int, DecisionTracer] = False,
+        contracts: Union[bool, ContractChecker] = False,
     ) -> None:
         if submission not in ("oozie", "woha"):
             raise ValueError(f"unknown submission mode {submission!r}")
@@ -140,6 +154,17 @@ class ClusterSimulation:
                 self.tracer = DecisionTracer(capacity=None if trace is True else int(trace))
             scheduler.attach_tracer(self.tracer)
             self.jobtracker.attach_tracer(self.tracer)
+        self.contracts: Optional[ContractChecker] = None
+        if contracts:
+            self.contracts = contracts if isinstance(contracts, ContractChecker) else ContractChecker()
+            if self.tracer is not None:
+                # Mirror assertion counters into the decision trace so one
+                # counter table covers both instrumentation layers.
+                self.contracts.attach_tracer(self.tracer)
+            scheduler.attach_contracts(self.contracts)
+            monitor = ContractMonitor(self.contracts)
+            monitor.bind(self.jobtracker)
+            self.jobtracker.add_listener(monitor)
         self.oozie: Optional[OozieCoordinator] = None
         if submission == "oozie":
             self.oozie = OozieCoordinator(self.sim, self.jobtracker)
@@ -166,6 +191,10 @@ class ClusterSimulation:
                 # The client queries the master for the system slot count
                 # and computes the plan locally (paper steps a-f).
                 plan = self.planner(workflow, self.jobtracker.total_slots)
+                if self.contracts is not None and hasattr(plan, "entries"):
+                    # Algorithm 1 monotonicity, checked where the client
+                    # would check it: at plan generation time.
+                    self.contracts.check_plan(plan)
             self.jobtracker.submit_workflow(workflow, plan=plan, use_submitter=True)
         else:
             self.oozie.submit_workflow(workflow)
@@ -199,12 +228,17 @@ class ClusterSimulation:
         }
         if self.tracer is not None:
             self.metrics.aggregate_counters(self.tracer)
+        elif self.contracts is not None:
+            # With a tracer the contract counters arrive mirrored through
+            # it; aggregating the checker too would double-count them.
+            self.metrics.aggregate_counters(self.contracts)
         return SimulationResult(
             stats=stats,
             metrics=self.metrics,
             makespan=makespan,
             events_processed=self.sim.processed_events,
             tracer=self.tracer,
+            contracts=self.contracts,
         )
 
     def on_workflow_completed(self, wip, now: float) -> None:

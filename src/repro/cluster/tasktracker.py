@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Optional
 
 from repro.cluster.tasks import Task, TaskKind
 
@@ -22,7 +22,10 @@ class TaskTracker:
         self.tracker_id = tracker_id
         self.map_slots = map_slots
         self.reduce_slots = reduce_slots
-        self.running: Set[Task] = set()
+        # Launch-ordered (dict, not set): Task hashes by identity, so set
+        # iteration order would vary run-to-run — and kill_tracker's loss
+        # handling iterates this to re-queue attempts (DT101).
+        self.running: Dict[Task, None] = {}
         self._running_maps = 0
         self._running_reduces = 0
         self.alive = True
@@ -50,12 +53,12 @@ class TaskTracker:
             if self._running_reduces >= self.reduce_slots:
                 raise RuntimeError(f"tracker {self.tracker_id}: reduce slots oversubscribed")
             self._running_reduces += 1
-        self.running.add(task)
+        self.running[task] = None
         task.tracker_id = self.tracker_id
 
     def release(self, task: Task) -> None:
         """Free the slot a finished (or killed) task occupied."""
-        self.running.discard(task)
+        self.running.pop(task, None)
         if task.kind.uses_map_slot:
             self._running_maps -= 1
         else:

@@ -80,7 +80,7 @@ class _SimProblem:
 
     def __init__(self, workflow: Workflow, job_order: Sequence[str]) -> None:
         rank: Dict[str, int] = {name: i for i, name in enumerate(job_order)}
-        missing = set(workflow.job_names()) - set(rank)
+        missing = [name for name in workflow.job_names() if name not in rank]
         if missing:
             raise ValueError(f"job_order missing jobs: {sorted(missing)}")
         self.workflow = workflow
@@ -103,7 +103,12 @@ class _SimProblem:
             self.reduce_dur[r] = wjob.reduce_duration
             self.pending0[r] = len(wjob.prerequisites)
             self.name_of[r] = wjob.name
-            self.dependents[r] = tuple(rank[d] for d in workflow.dependents(wjob.name))
+            # sorted: dependents() is a frozenset, so bare iteration here
+            # would bake hash order into the tuple.  Rank heaps pop by
+            # value, so the push order cannot change any decision — but the
+            # stored tuple must still be process-independent for the plan
+            # cache and the byte-equivalence oracle.
+            self.dependents[r] = tuple(rank[d] for d in sorted(workflow.dependents(wjob.name)))
         self.root_ranks = tuple(rank[root] for root in workflow.roots())
 
     def run(

@@ -75,6 +75,8 @@ def residual_workflow(wip: "WorkflowInProgress") -> Optional[Workflow]:
                 num_reduces=reduces,
                 map_duration=wjob.map_duration if maps else 0.0,
                 reduce_duration=wjob.reduce_duration if reduces else 0.0,
+                # Iterating the prerequisites frozenset is safe here: the
+                # consumer is another frozenset, so no ordering escapes.
                 prerequisites=frozenset(p for p in wjob.prerequisites if p in remaining),
             )
         )

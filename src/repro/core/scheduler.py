@@ -165,6 +165,11 @@ class WohaScheduler(WorkflowScheduler):
         self._records: Dict[str, _WorkflowRecord] = {}
         self.assign_calls = 0
 
+    def attach_contracts(self, checker) -> None:
+        """Check the DSL's cross-link consistency after every queue mutation."""
+        super().attach_contracts(checker)
+        self._queue.attach_contracts(checker)
+
     # -- lifecycle -----------------------------------------------------------
 
     def on_workflow_submitted(self, wip: "WorkflowInProgress", now: float) -> None:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Optional, Union
 
+from repro.analysis.contracts import NULL_CONTRACTS
 from repro.cluster.tasks import Task, TaskKind
 from repro.trace import NULL_TRACER, DecisionTracer, NullTracer
 
@@ -43,6 +44,7 @@ class WorkflowScheduler(abc.ABC):
     def __init__(self) -> None:
         self.jobtracker: Optional["JobTracker"] = None
         self.tracer: Union[DecisionTracer, NullTracer] = NULL_TRACER
+        self.contracts = NULL_CONTRACTS
 
     def bind(self, jobtracker: "JobTracker") -> None:
         """Called once by the JobTracker before any other callback."""
@@ -51,6 +53,16 @@ class WorkflowScheduler(abc.ABC):
     def attach_tracer(self, tracer: Union[DecisionTracer, NullTracer]) -> None:
         """Start emitting decision events into ``tracer``."""
         self.tracer = tracer
+
+    def attach_contracts(self, checker) -> None:
+        """Enable runtime invariant checks (:mod:`repro.analysis.contracts`).
+
+        The base implementation only stores the checker; schedulers with
+        checkable internal structures (e.g. :class:`WohaScheduler`'s Double
+        Skip List queue) override this to forward it.  Like tracing,
+        contract checking is strictly observational.
+        """
+        self.contracts = checker
 
     # -- lifecycle notifications (default: ignore) -----------------------
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.analysis.contracts import NULL_CONTRACTS
 from repro.structures.base import OrderedMap
 from repro.structures.skiplist import DeterministicSkipList
 
@@ -57,6 +58,14 @@ class DoubleSkipList:
         self._ct_list = map_factory()
         self._priority_list = map_factory()
         self._entries: Dict[Any, DoubleEntry] = {}
+        # Runtime contract checker (repro.analysis.contracts); the null
+        # singleton until one is attached, so every mutation pays exactly
+        # one attribute read + branch when contracts are off.
+        self.contracts = NULL_CONTRACTS
+
+    def attach_contracts(self, checker) -> None:
+        """Verify cross-link consistency after every mutating operation."""
+        self.contracts = checker
 
     # -- basic operations ----------------------------------------------------
 
@@ -68,6 +77,8 @@ class DoubleSkipList:
         self._ct_list.insert(entry.ct_key, entry)
         self._priority_list.insert(entry.priority_key, entry)
         self._entries[item_id] = entry
+        if self.contracts.enabled:
+            self.contracts.check_dsl(self)
         return entry
 
     def remove(self, item_id: Any) -> DoubleEntry:
@@ -75,6 +86,8 @@ class DoubleSkipList:
         entry = self._entries.pop(item_id)
         self._ct_list.delete(entry.ct_key)
         self._priority_list.delete(entry.priority_key)
+        if self.contracts.enabled:
+            self.contracts.check_dsl(self)
         return entry
 
     def __len__(self) -> int:
@@ -122,6 +135,8 @@ class DoubleSkipList:
         entry.priority = new_priority
         self._ct_list.insert(entry.ct_key, entry)
         self._priority_list.insert(entry.priority_key, entry)
+        if self.contracts.enabled:
+            self.contracts.check_dsl(self)
         return entry
 
     def update_priority(self, item_id: Any, new_priority: float) -> DoubleEntry:
@@ -139,6 +154,8 @@ class DoubleSkipList:
             self._priority_list.delete(entry.priority_key)
         entry.priority = new_priority
         self._priority_list.insert(entry.priority_key, entry)
+        if self.contracts.enabled:
+            self.contracts.check_dsl(self)
         return entry
 
     def update_ct(self, item_id: Any, new_ct: float) -> DoubleEntry:
@@ -147,6 +164,8 @@ class DoubleSkipList:
         self._ct_list.delete(entry.ct_key)
         entry.ct = new_ct
         self._ct_list.insert(entry.ct_key, entry)
+        if self.contracts.enabled:
+            self.contracts.check_dsl(self)
         return entry
 
     # -- verification -----------------------------------------------------------

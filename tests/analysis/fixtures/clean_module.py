@@ -1,0 +1,28 @@
+# repro: decision-path
+"""Fixture: a decision-path module every rule should pass."""
+
+
+class Record(object):
+    __slots__ = ("name", "rank")
+
+    def __init__(self, name, rank):
+        self.name = name
+        self.rank = rank
+
+    def __eq__(self, other):
+        return isinstance(other, Record) and other.name == self.name
+
+    def __hash__(self):
+        return hash(self.name)
+
+
+def unlock_order(workflow):
+    return sorted(workflow.prerequisites)
+
+
+def residual(workflow, remaining):
+    return frozenset(p for p in workflow.prerequisites if p in remaining)
+
+
+def behind(deadline, now):
+    return now > deadline

@@ -1,0 +1,6 @@
+# repro: decision-path
+"""Fixture: DT101 — set iteration in an order-sensitive position."""
+
+
+def unlock_order(workflow):
+    return [name for name in workflow.prerequisites]

@@ -1,0 +1,7 @@
+"""Fixture: DT102 — wall-clock read in decision code."""
+
+import time
+
+
+def stamp():
+    return time.time()

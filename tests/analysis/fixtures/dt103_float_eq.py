@@ -1,0 +1,5 @@
+"""Fixture: DT103 — exact float equality on a deadline."""
+
+
+def at_deadline(deadline, now):
+    return deadline == now

@@ -1,0 +1,5 @@
+"""Fixture: DT104 — mutating an immutable model object."""
+
+
+def extend(workflow, extra):
+    workflow.deadline = workflow.deadline + extra

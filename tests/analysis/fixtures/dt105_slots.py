@@ -1,0 +1,9 @@
+"""Fixture: DT105 — self attribute missing from __slots__."""
+
+
+class Box(object):
+    __slots__ = ("present",)
+
+    def fill(self):
+        self.present = 1
+        self.missing = 2

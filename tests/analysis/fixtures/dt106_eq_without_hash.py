@@ -1,0 +1,10 @@
+# repro: decision-path
+"""Fixture: DT106 — __eq__ without __hash__ on a decision-path type."""
+
+
+class CacheKey:
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return isinstance(other, CacheKey) and other.value == self.value

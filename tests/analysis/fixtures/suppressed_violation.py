@@ -1,0 +1,8 @@
+"""Fixture: a DT102 hit silenced by an inline suppression."""
+
+import time
+
+
+def stamp():
+    # Bench harness wall-clock: never feeds a scheduling decision.
+    return time.time()  # repro: allow[DT102]

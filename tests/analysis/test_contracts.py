@@ -1,0 +1,247 @@
+"""Runtime contract layer: unit checks + corrupted-structure regressions."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.contracts import (
+    NULL_CONTRACTS,
+    ContractChecker,
+    ContractViolation,
+    NullContractChecker,
+)
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import ClusterSimulation
+from repro.cluster.tasks import TaskKind
+from repro.core.progress import ProgressEntry, ProgressPlan
+from repro.core.scheduler import WohaScheduler
+from repro.structures.avl import AvlTree
+from repro.structures.dsl import DoubleSkipList
+from repro.trace import DecisionTracer
+
+
+def make_plan(entries, total=None, job_order=("a", "b")):
+    return SimpleNamespace(
+        entries=tuple(ProgressEntry(ttd=t, cum_req=r) for t, r in entries),
+        total_tasks=total if total is not None else (entries[-1][1] if entries else 0),
+        job_order=tuple(job_order),
+    )
+
+
+# -- plan contracts -----------------------------------------------------------
+
+
+def test_valid_plan_passes_and_counts():
+    checker = ContractChecker()
+    checker.check_plan(make_plan([(30.0, 2), (20.0, 5), (0.0, 9)]))
+    assert checker.counters["plan_checks"] == 1
+    assert checker.counters["assertions"] > 0
+    assert checker.counters["violations"] == 0
+
+
+def test_real_progress_plan_passes():
+    plan = ProgressPlan(
+        entries=(ProgressEntry(25.0, 3), ProgressEntry(10.0, 6)),
+        job_order=("a",),
+        resource_cap=4,
+        makespan=25.0,
+        total_tasks=6,
+    )
+    ContractChecker().check_plan(plan)
+
+
+@pytest.mark.parametrize(
+    "entries, total, order, match",
+    [
+        ([(20.0, 2), (30.0, 5)], 5, ("a",), "ttd not strictly descending"),
+        ([(30.0, 5), (20.0, 5)], 5, ("a",), "cum_req not strictly ascending"),
+        ([(30.0, 2), (20.0, 5)], 9, ("a",), "workflow has 9"),
+        ([(30.0, 0)], 0, ("a",), "non-positive requirement"),
+        ([(30.0, 2)], 2, ("a", "a"), "duplicate job names"),
+    ],
+)
+def test_bad_plans_rejected(entries, total, order, match):
+    checker = ContractChecker()
+    with pytest.raises(ContractViolation, match=match):
+        checker.check_plan(make_plan(entries, total=total, job_order=order))
+    assert checker.counters["violations"] == 1
+
+
+def test_batches_sorted_by_instant():
+    checker = ContractChecker()
+    checker.check_batches([(0.0, 3), (0.0, 1), (10.0, 2)])
+    with pytest.raises(ContractViolation, match="not sorted by instant"):
+        checker.check_batches([(10.0, 2), (0.0, 3)])
+    with pytest.raises(ContractViolation, match="non-positive count"):
+        checker.check_batches([(0.0, 0)])
+
+
+# -- dispatch contracts -------------------------------------------------------
+
+
+def _task(kind, job_name=None, payload=None):
+    return SimpleNamespace(
+        kind=kind, payload=payload, job=SimpleNamespace(name=job_name), task_id="t-0"
+    )
+
+
+def test_dispatch_requires_empty_prereqs():
+    checker = ContractChecker()
+    wip = SimpleNamespace(pending_prereqs={"b": {"a"}, "a": set()})
+    checker.check_dispatch(wip, _task(TaskKind.MAP, job_name="a"))
+    with pytest.raises(ContractViolation, match="unfinished\n?\\s*prerequisites"):
+        checker.check_dispatch(wip, _task(TaskKind.MAP, job_name="b"))
+    with pytest.raises(ContractViolation):
+        checker.check_dispatch(wip, _task(TaskKind.SUBMIT, payload="b"))
+    # Jobs outside the workflow's wjob set (the submitter itself) pass.
+    checker.check_dispatch(wip, _task(TaskKind.SUBMIT, payload="not-a-wjob"))
+
+
+# -- DSL contracts ------------------------------------------------------------
+
+
+def _filled_dsl(checker, n=8, factory=None):
+    dsl = DoubleSkipList() if factory is None else DoubleSkipList(map_factory=factory)
+    dsl.attach_contracts(checker)
+    for i in range(n):
+        dsl.insert(item_id=f"w{i}", ct=float(10 * i), priority=float(i % 3))
+    return dsl
+
+
+def test_dsl_operations_pass_under_contracts():
+    checker = ContractChecker()
+    dsl = _filled_dsl(checker)
+    dsl.update_priority("w3", 99.0)
+    dsl.update_ct("w5", 1.5)
+    dsl.update_head_ct(500.0, 0.0)
+    dsl.remove("w2")
+    assert checker.counters["dsl_checks"] >= 12
+    assert checker.counters["violations"] == 0
+
+
+def test_corrupted_cross_link_caught():
+    """The acceptance-criteria regression: a DoubleEntry whose ct was
+    mutated without repositioning must trip the very next check."""
+    checker = ContractChecker()
+    dsl = _filled_dsl(checker)
+    dsl.get("w4").ct = -123.0  # stale ct-list key: the cross-link now lies
+    with pytest.raises(ContractViolation, match="ct_key"):
+        dsl.insert(item_id="w99", ct=1.0, priority=1.0)
+    assert checker.counters["violations"] == 1
+
+
+def test_corrupted_priority_link_caught():
+    checker = ContractChecker()
+    dsl = _filled_dsl(checker)
+    dsl.get("w1").priority = 1e9
+    with pytest.raises(ContractViolation, match="priority_key"):
+        dsl.update_ct("w5", 2.0)
+
+
+def test_corrupted_skiplist_tower_caught():
+    checker = ContractChecker()
+    dsl = _filled_dsl(checker, n=24)  # tall enough to have towers
+    ct_list = dsl._ct_list
+    node = ct_list._heads[1].right
+    assert node is not ct_list._tail, "expected a level-1 node at n=24"
+    node.key = (node.key[0] + 0.5, node.key[1])  # break the tower key match
+    with pytest.raises(ContractViolation):
+        checker.check_skiplist(ct_list)
+
+
+def test_avl_backend_falls_back_to_its_invariants():
+    checker = ContractChecker()
+    dsl = _filled_dsl(checker, factory=AvlTree)
+    dsl.update_head_ct(999.0, 5.0)
+    dsl.remove("w0")
+    assert checker.counters["violations"] == 0
+
+
+# -- null checker and counter plumbing ----------------------------------------
+
+
+def test_null_checker_is_inert():
+    assert not NULL_CONTRACTS.enabled
+    assert isinstance(NULL_CONTRACTS, NullContractChecker)
+    NULL_CONTRACTS.check_plan(None)
+    NULL_CONTRACTS.check_dsl(None)
+    NULL_CONTRACTS.check_batches([(5.0, 1), (0.0, 1)])  # unsorted: still silent
+    assert NULL_CONTRACTS.counter_table() == {}
+
+
+def test_counter_table_shape_and_tracer_mirroring():
+    tracer = DecisionTracer()
+    checker = ContractChecker(tracer=tracer)
+    checker.check_plan(make_plan([(30.0, 2), (20.0, 5)]))
+    table = checker.counter_table()
+    assert set(table) == {"contracts"}
+    assert table["contracts"]["plan_checks"] == 1
+    assert tracer.counter_table()["contracts"] == table["contracts"]
+
+
+def test_scheduler_attach_contracts_reaches_queue():
+    checker = ContractChecker()
+    scheduler = WohaScheduler()
+    scheduler.attach_contracts(checker)
+    assert scheduler.contracts is checker
+    assert scheduler._queue.contracts is checker
+
+
+# -- simulation wiring --------------------------------------------------------
+
+
+def _mini_sim(**kwargs):
+    config = ClusterConfig(
+        num_nodes=2, map_slots_per_node=2, reduce_slots_per_node=1,
+        heartbeat_interval=float("inf"),
+    )
+    from repro.core.client import make_planner
+
+    return ClusterSimulation(
+        config, WohaScheduler(), submission="woha", planner=make_planner("lpf"), **kwargs
+    )
+
+
+def test_simulation_contracts_off_by_default(small_workflow):
+    sim = _mini_sim()
+    sim.add_workflow(small_workflow)
+    result = sim.run()
+    assert result.contracts is None
+
+
+def test_simulation_contracts_counted_in_metrics(small_workflow):
+    sim = _mini_sim(contracts=True)
+    sim.add_workflow(small_workflow)
+    result = sim.run()
+    assert result.contracts is not None
+    assert result.contracts.counters["assertions"] > 0
+    assert result.contracts.counters["violations"] == 0
+    assert result.metrics.scheduler_counters["contracts"]["assertions"] > 0
+
+
+def test_simulation_contracts_and_trace_share_one_table(small_workflow):
+    sim = _mini_sim(contracts=True, trace=True)
+    sim.add_workflow(small_workflow)
+    result = sim.run()
+    # Mirrored through the tracer exactly once (no double aggregation).
+    assert (
+        result.metrics.scheduler_counters["contracts"]["assertions"]
+        == result.contracts.counters["assertions"]
+    )
+
+
+def test_simulation_catches_corrupt_plan_from_planner(small_workflow):
+    # A planner shipping a non-monotonic plan must be rejected at
+    # submission time when contracts are on.
+    corrupt = make_plan([(10.0, 5), (20.0, 7)], total=7)
+    config = ClusterConfig(
+        num_nodes=2, map_slots_per_node=2, reduce_slots_per_node=1,
+        heartbeat_interval=float("inf"),
+    )
+    sim = ClusterSimulation(
+        config, WohaScheduler(), submission="woha",
+        planner=lambda wf, slots: corrupt, contracts=True,
+    )
+    sim.add_workflow(small_workflow)
+    with pytest.raises(ContractViolation, match="ttd not strictly descending"):
+        sim.run()

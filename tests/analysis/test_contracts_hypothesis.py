@@ -1,0 +1,117 @@
+"""Randomized-operation properties for the runtime contract layer.
+
+Two properties the contracts must satisfy to be trustworthy:
+
+1. **Soundness on correct code**: the Double Skip List under any valid
+   sequence of insert/remove/update operations never trips a contract —
+   thousands of randomized op sequences, every mutation checked.
+2. **Observational transparency**: attaching a checker (or leaving the
+   null checker in place) changes *zero* decisions — the structure's
+   observable order is identical with contracts on and off.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.contracts import ContractChecker, ContractViolation
+from repro.structures.avl import AvlTree
+from repro.structures.dsl import DoubleSkipList
+
+# An op is (code, item_seed, ct, priority); the interpreter resolves the
+# item seed against the ids currently present so removes/updates hit.
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "remove", "update_priority", "update_ct", "pop_head"]),
+        st.integers(min_value=0, max_value=99),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _apply(dsl, ops):
+    """Drive one op sequence; returns the observable decision trail."""
+    trail = []
+    next_id = 0
+    for code, seed, ct, priority in ops:
+        present = sorted(dsl._entries)
+        if code == "insert":
+            dsl.insert(item_id=f"w{next_id}", ct=ct, priority=priority)
+            next_id += 1
+        elif not present:
+            continue
+        elif code == "remove":
+            dsl.remove(present[seed % len(present)])
+        elif code == "update_priority":
+            dsl.update_priority(present[seed % len(present)], priority)
+        elif code == "update_ct":
+            dsl.update_ct(present[seed % len(present)], ct)
+        elif code == "pop_head":
+            dsl.update_head_ct(ct, priority)
+        head_ct = dsl.head_by_ct()
+        head_pr = dsl.head_by_priority()
+        trail.append(
+            (
+                head_ct.item_id if head_ct else None,
+                head_pr.item_id if head_pr else None,
+                [e.item_id for e in dsl.iter_by_priority()],
+            )
+        )
+    return trail
+
+
+@given(ops=_OPS)
+@settings(max_examples=200, deadline=None)
+def test_contracts_hold_over_randomized_op_sequences(ops):
+    checker = ContractChecker()
+    dsl = DoubleSkipList()
+    dsl.attach_contracts(checker)
+    _apply(dsl, ops)  # no ContractViolation may escape
+    assert checker.counters["violations"] == 0
+    assert checker.counters["dsl_checks"] >= sum(
+        1 for code, *_ in ops if code == "insert"
+    )
+
+
+@given(ops=_OPS)
+@settings(max_examples=100, deadline=None)
+def test_contracts_hold_on_avl_backend(ops):
+    checker = ContractChecker()
+    dsl = DoubleSkipList(map_factory=AvlTree)
+    dsl.attach_contracts(checker)
+    _apply(dsl, ops)
+    assert checker.counters["violations"] == 0
+
+
+@given(ops=_OPS)
+@settings(max_examples=150, deadline=None)
+def test_disabled_contracts_change_zero_decisions(ops):
+    plain = DoubleSkipList()  # null checker: contracts off
+    checked = DoubleSkipList()
+    checked.attach_contracts(ContractChecker())
+    assert _apply(plain, ops) == _apply(checked, ops)
+
+
+@given(ops=_OPS, bad_ct=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_any_stale_cross_link_is_eventually_caught(ops, bad_ct):
+    """After corrupting one entry's ct in place, the next mutating op
+    must raise (unless the corrupted entry was already gone, or the new
+    ct happens to be identical)."""
+    checker = ContractChecker()
+    dsl = DoubleSkipList()
+    dsl.attach_contracts(checker)
+    _apply(dsl, ops)
+    if not dsl._entries:
+        return
+    victim = sorted(dsl._entries)[0]
+    if dsl.get(victim).ct == bad_ct:
+        return
+    dsl.get(victim).ct = bad_ct
+    try:
+        dsl.insert(item_id="fresh", ct=0.5, priority=0.5)
+    except ContractViolation:
+        return
+    raise AssertionError("stale ct cross-link went undetected")

@@ -1,0 +1,143 @@
+"""Lint driver mechanics: suppressions, baselines, module keys, errors."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintError, lint_paths, lint_source, load_baseline, module_key
+from repro.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+# -- inline suppressions ------------------------------------------------------
+
+
+def test_inline_suppression_moves_violation_to_suppressed():
+    report = lint_paths([FIXTURES / "suppressed_violation.py"])
+    assert report.clean
+    assert [v.rule for v in report.suppressed] == ["DT102"]
+
+
+def test_suppression_is_rule_specific():
+    source = "import time\ndef f():\n    return time.time()  # repro: allow[DT101]\n"
+    report = lint_source(source, "repro/core/x.py")
+    assert [v.rule for v in report.violations] == ["DT102"]
+    assert not report.suppressed
+
+
+def test_wildcard_and_comma_list_suppressions():
+    starred = "import time\ndef f():\n    return time.time()  # repro: allow[*]\n"
+    assert lint_source(starred, "repro/core/x.py").clean
+    listed = (
+        "import time\n"
+        "def f(deadline):\n"
+        "    return time.time() == deadline  # repro: allow[DT102, DT103]\n"
+    )
+    assert lint_source(listed, "repro/core/x.py").clean
+
+
+# -- baselines ----------------------------------------------------------------
+
+
+def test_baseline_absorbs_budgeted_violations(tmp_path):
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("# known debt\ndt102_wallclock.py:DT102:1\n")
+    report = lint_paths([FIXTURES / "dt102_wallclock.py"], baseline_path=baseline)
+    assert report.clean
+    assert [v.rule for v in report.baselined] == ["DT102"]
+    assert not report.stale_baseline
+
+
+def test_baseline_budget_does_not_hide_excess(tmp_path):
+    source = "import time\ndef f():\n    return time.time() + time.time()\n"
+    module = tmp_path / "two_hits.py"
+    module.write_text(source)
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("two_hits.py:DT102:1\n")
+    report = lint_paths([module], baseline_path=baseline)
+    assert len(report.baselined) == 1
+    assert len(report.violations) == 1  # the second hit still fails the run
+
+
+def test_stale_baseline_entries_reported_and_fail_cli(tmp_path):
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("clean_module.py:DT101:2\n")
+    report = lint_paths([FIXTURES / "clean_module.py"], baseline_path=baseline)
+    assert report.clean
+    assert report.stale_baseline == [("clean_module.py", "DT101", 2)]
+    exit_code = cli_main(
+        ["lint", str(FIXTURES / "clean_module.py"), "--baseline", str(baseline)]
+    )
+    assert exit_code == 1
+
+
+def test_malformed_baseline_rejected(tmp_path):
+    bad = tmp_path / "baseline.txt"
+    bad.write_text("not a baseline line\n")
+    with pytest.raises(LintError, match="malformed"):
+        load_baseline(bad)
+
+
+def test_unknown_rule_in_baseline_rejected(tmp_path):
+    bad = tmp_path / "baseline.txt"
+    bad.write_text("x.py:DT999:1\n")
+    with pytest.raises(LintError, match="unknown rule"):
+        load_baseline(bad)
+
+
+def test_baseline_counts_accumulate(tmp_path):
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("x.py:DT102:1\nx.py:DT102:2\n")
+    assert load_baseline(baseline) == {("x.py", "DT102"): 3}
+
+
+# -- module keys and directives -----------------------------------------------
+
+
+def test_module_key_normalises_to_package_root():
+    assert module_key("/a/b/src/repro/core/plangen.py") == "repro/core/plangen.py"
+    assert module_key("src/repro/noise.py") == "repro/noise.py"
+    assert module_key("tests/analysis/fixtures/dt101.py") == "dt101.py"
+
+
+def test_decision_path_directive_opts_file_in():
+    source = "# repro: decision-path\ndef f(w):\n    return list(w.prerequisites)\n"
+    assert not lint_source(source, "anywhere.py").clean
+    undirected = "def f(w):\n    return list(w.prerequisites)\n"
+    assert lint_source(undirected, "anywhere.py").clean
+
+
+def test_randomness_ok_directive():
+    source = "# repro: randomness-ok\nimport random\ndef f():\n    return random.random()\n"
+    assert lint_source(source, "repro/core/x.py").clean
+
+
+# -- driver errors and CLI ----------------------------------------------------
+
+
+def test_syntax_error_raises_lint_error(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    with pytest.raises(LintError, match="cannot parse"):
+        lint_paths([broken])
+
+
+def test_empty_path_set_rejected(tmp_path):
+    empty = tmp_path / "empty_dir_that_exists"
+    empty.mkdir()
+    with pytest.raises(LintError, match="no python files"):
+        lint_paths([empty])
+
+
+def test_cli_usage_error_exits_2(tmp_path, capsys):
+    missing = tmp_path / "nope.txt"
+    assert cli_main(["lint", str(missing)]) == 2
+    assert "lint:" in capsys.readouterr().err
+
+
+def test_directory_lint_is_deterministic_and_counts_files():
+    first = lint_paths([FIXTURES])
+    second = lint_paths([FIXTURES])
+    assert first.files_checked == second.files_checked >= 8
+    assert [v.render() for v in first.violations] == [v.render() for v in second.violations]

@@ -1,0 +1,32 @@
+"""Tier-1 gate: the source tree itself passes the determinism lint.
+
+This is the test that makes the rules *binding*: a new set iteration in a
+decision path, a wall-clock call, or a frozen-model mutation anywhere
+under ``src/repro`` fails the suite.  Known debt must be budgeted in the
+checked-in ``lint-baseline.txt`` (which reports stale entries, so the
+budget only ever shrinks) or justified inline with ``# repro: allow[...]``.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import lint_paths
+from repro.cli import main as cli_main
+
+PACKAGE_ROOT = Path(repro.__file__).parent
+BASELINE = Path(__file__).parents[2] / "lint-baseline.txt"
+
+
+def test_source_tree_is_lint_clean():
+    report = lint_paths([PACKAGE_ROOT], baseline_path=BASELINE)
+    rendered = "\n".join(v.render() for v in report.violations)
+    assert report.clean, f"determinism lint violations:\n{rendered}"
+    stale = "\n".join(f"{p}:{r}:{c}" for p, r, c in report.stale_baseline)
+    assert not report.stale_baseline, f"stale baseline entries (delete them):\n{stale}"
+    assert report.files_checked >= 50  # the whole package was actually walked
+
+
+def test_cli_gate_matches_library_gate(capsys):
+    exit_code = cli_main(["lint", str(PACKAGE_ROOT), "--baseline", str(BASELINE)])
+    out = capsys.readouterr().out
+    assert exit_code == 0, out

@@ -115,3 +115,32 @@ class TestTraceDecisionsCommand:
 
     def test_no_input_errors(self, capsys):
         assert main(["trace-decisions"]) == 2
+
+
+class TestContractsFlag:
+    def test_simulate_with_contracts_reports_assertions(self, xml_file, capsys):
+        assert main([
+            "simulate", xml_file, "--scheduler", "woha-lpf", "--nodes", "8",
+            "--contracts",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "contracts:" in out
+        assert "assertions evaluated" in out
+
+    def test_simulate_without_contracts_is_silent(self, xml_file, capsys):
+        assert main(["simulate", xml_file, "--nodes", "8"]) == 0
+        assert "contracts:" not in capsys.readouterr().out
+
+
+class TestLintCommand:
+    def test_list_rules_names_all_six(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DT101", "DT102", "DT103", "DT104", "DT105", "DT106"):
+            assert rule_id in out
+
+    def test_lint_defaults_to_package_tree(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+        assert "file(s) checked" in out
