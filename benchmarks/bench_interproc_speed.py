@@ -1,0 +1,88 @@
+"""Whole-program analysis latency: call graph + DT201-DT204.
+
+The interprocedural gate in ``tests/analysis/test_lint_gate.py`` runs on
+every tier-1 invocation, so the graph build (two passes over every module)
+plus taint propagation and budget DFS must stay cheap.  This bench times a
+full ``src/repro`` run of ``lint_paths(..., interproc=True)`` — parse, all
+intraprocedural rules, graph construction, the four interprocedural rules
+and baseline reconciliation — and enforces the ISSUE's bar: a complete run
+in **under 5 seconds** on the development corpus.
+
+The measurement test is marked ``perf`` and therefore deselected by the
+default ``-m "not perf"`` addopts; run it explicitly with
+``pytest benchmarks/bench_interproc_speed.py -m perf``.  The tier-1 shape
+guard lives in ``tests/integration/test_bench_interproc_guard.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+import pytest
+
+import repro
+from repro.analysis import lint_paths
+from repro.analysis.callgraph import build_call_graph_from_paths
+from repro.metrics.report import format_table
+
+from benchmarks._helpers import emit
+
+PACKAGE_ROOT = Path(repro.__file__).parent
+BASELINE = Path(__file__).resolve().parent.parent / "lint-baseline.txt"
+
+#: The ISSUE's acceptance bar for a full interprocedural run, in seconds.
+BUDGET_SECONDS = 5.0
+
+
+def run_bench(
+    paths: Optional[Sequence[Path]] = None,
+    baseline: Optional[Path] = None,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Best-of-``repeats`` interprocedural lint; timing + graph stats."""
+    paths = list(paths) if paths is not None else [PACKAGE_ROOT]
+    baseline = baseline if baseline is not None else BASELINE
+    best = float("inf")
+    report = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        report = lint_paths(paths, baseline_path=baseline, interproc=True)
+        best = min(best, time.perf_counter() - start)
+    graph = build_call_graph_from_paths([str(p) for p in paths])
+    return {
+        "bench": "interproc_speed",
+        "files_checked": report.files_checked,
+        "functions": len(graph.functions),
+        "edges": len(graph.edges),
+        "violations": len(report.violations),
+        "suppressed": len(report.suppressed),
+        "best_seconds": round(best, 3),
+        "files_per_sec": round(report.files_checked / best, 1),
+        "budget_seconds": BUDGET_SECONDS,
+    }
+
+
+@pytest.mark.perf
+def test_full_tree_interproc_under_budget():
+    payload = run_bench()
+    table = format_table(
+        ["files", "functions", "edges", "best (s)", "files/s", "budget (s)"],
+        [[
+            payload["files_checked"],
+            payload["functions"],
+            payload["edges"],
+            payload["best_seconds"],
+            payload["files_per_sec"],
+            payload["budget_seconds"],
+        ]],
+        title="Interprocedural pass, full src/repro walk",
+        float_fmt="{:.3f}",
+    )
+    emit("interproc_speed", table)
+    assert payload["best_seconds"] < BUDGET_SECONDS
+
+
+if __name__ == "__main__":
+    print(run_bench())

@@ -1,15 +1,20 @@
-"""Static determinism lint + runtime invariant contracts (DESIGN.md §8).
+"""Static determinism lint + runtime invariant contracts (DESIGN.md §8-§9).
 
-Two halves of one guarantee:
+Three layers of one guarantee:
 
 * :mod:`repro.analysis.rules` / :mod:`repro.analysis.engine` — an AST lint
-  that statically rejects determinism hazards (rule ids ``DT101``-``DT106``)
+  that statically rejects determinism hazards (rule ids ``DT101``-``DT107``)
   in the scheduler's decision paths.  CLI: ``repro lint``.
+* :mod:`repro.analysis.callgraph` / :mod:`repro.analysis.interproc` — the
+  whole-program pass (``DT201``-``DT204``): nondeterminism taint along the
+  call graph, dynamic-call holes and §IV complexity budgets.  CLI:
+  ``repro lint --interproc`` and ``repro callgraph``.
 * :mod:`repro.analysis.contracts` — runtime checkers asserting the DSL
   cross-link, skip-list level monotonicity, Algorithm 1 plan monotonicity
   and prerequisite-respecting dispatch, zero-cost when disabled.
 """
 
+from repro.analysis.annotations import decision_path, hot_path
 from repro.analysis.contracts import (
     NULL_CONTRACTS,
     ContractChecker,
@@ -34,6 +39,8 @@ __all__ = [
     "scan_module",
     "LintError",
     "LintReport",
+    "decision_path",
+    "hot_path",
     "lint_paths",
     "lint_source",
     "load_baseline",

@@ -1,0 +1,66 @@
+"""Runtime-visible markers consumed by the interprocedural analyzer.
+
+``DECISION_PATH_DIRS`` marks whole directories as decision paths; these
+decorators mark *individual functions* that live outside them — e.g. the
+Oozie-lite coordinator's submission loop, or the event engine's dispatch —
+so the taint engine (:mod:`repro.analysis.interproc`, rule DT201) treats
+them as sinks and the dynamic-call rule (DT202) covers them.
+
+The decorators are deliberately trivial at runtime: they tag the function
+object and record it in a registry, nothing else.  The analyzer recognises
+them *syntactically* (a decorator whose terminal identifier is
+``decision_path`` / ``hot_path``), so annotated code needs no import-time
+coupling to the analysis package beyond this leaf module.
+
+``hot_path`` additionally obliges the function to carry a
+``# repro: budget O(...)`` declaration — rule DT204 fires on a hot-path
+function without one (the same obligation the built-in
+``HOT_PATH_REGISTRY`` imposes on the Double Skip List mutators and
+``WohaScheduler.select_task``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, TypeVar
+
+__all__ = [
+    "decision_path",
+    "hot_path",
+    "DECISION_PATH_REGISTRY",
+    "HOT_PATH_REGISTRY_RUNTIME",
+]
+
+_F = TypeVar("_F", bound=Callable)
+
+#: ``module.qualname`` -> function, for every ``@decision_path`` target.
+DECISION_PATH_REGISTRY: Dict[str, Callable] = {}
+
+#: ``module.qualname`` -> function, for every ``@hot_path`` target.
+HOT_PATH_REGISTRY_RUNTIME: Dict[str, Callable] = {}
+
+
+def _register(registry: Dict[str, Callable], fn: Callable) -> None:
+    registry[f"{fn.__module__}.{fn.__qualname__}"] = fn
+
+
+def decision_path(fn: _F) -> _F:
+    """Mark ``fn`` as a scheduling-decision function for the taint engine.
+
+    Equivalent to the function living under one of ``DECISION_PATH_DIRS``:
+    nondeterminism reaching it interprocedurally is a DT201 violation, and
+    unresolved dynamic calls inside it are DT202.
+    """
+    fn.__repro_decision_path__ = True  # type: ignore[attr-defined]
+    _register(DECISION_PATH_REGISTRY, fn)
+    return fn
+
+
+def hot_path(fn: _F) -> _F:
+    """Mark ``fn`` as performance-critical: it must declare a budget.
+
+    A hot-path function without a ``# repro: budget O(...)`` comment on (or
+    directly above) its ``def`` line is a DT204 violation.
+    """
+    fn.__repro_hot_path__ = True  # type: ignore[attr-defined]
+    _register(HOT_PATH_REGISTRY_RUNTIME, fn)
+    return fn

@@ -31,10 +31,13 @@ from repro.analysis.rules import DECISION_PATH_DIRS, RULES, Violation, scan_modu
 __all__ = [
     "LintError",
     "LintReport",
+    "inline_allows",
+    "is_decision_path_module",
     "lint_source",
     "lint_paths",
     "module_key",
     "load_baseline",
+    "randomness_allowed_module",
 ]
 
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9*,\s]+)\]")
@@ -92,30 +95,40 @@ def module_key(path: "str | Path") -> str:
     root when below one, else the bare file name.
 
     Baseline entries and reports use this key, so the baseline is
-    independent of where the tree is checked out.
+    independent of where the tree is checked out — including the path
+    separator: Windows backslashes are normalised to POSIX ``/`` before
+    splitting, so ``src\\repro\\core\\x.py`` and ``src/repro/core/x.py``
+    produce the same key.
     """
-    parts = Path(path).as_posix().split("/")
+    parts = str(path).replace("\\", "/").split("/")
     for i in range(len(parts) - 1, -1, -1):
         if parts[i] == "repro":
             return "/".join(parts[i:])
     return parts[-1]
 
 
-def _is_decision_path(key: str, source: str) -> bool:
+def is_decision_path_module(key: str, source: str) -> bool:
+    """Does this module take scheduling decisions (by location or directive)?"""
     if _DECISION_DIRECTIVE_RE.search(source):
         return True
     parts = key.split("/")
     return len(parts) > 1 and parts[0] == "repro" and parts[1] in DECISION_PATH_DIRS
 
 
-def _randomness_allowed(key: str, source: str) -> bool:
+def randomness_allowed_module(key: str, source: str) -> bool:
+    """Is this module sanctioned to draw randomness (noise/workloads)?"""
     if _RANDOMNESS_OK_DIRECTIVE_RE.search(source):
         return True
     rel = key[len("repro/"):] if key.startswith("repro/") else key
     return rel == "noise.py" or rel.startswith("workloads/")
 
 
-def _inline_allows(source: str) -> Dict[int, set]:
+# Internal aliases kept for callers predating the public names.
+_is_decision_path = is_decision_path_module
+_randomness_allowed = randomness_allowed_module
+
+
+def inline_allows(source: str) -> Dict[int, set]:
     """Line number -> set of rule ids allowed there (``*`` = every rule)."""
     allows: Dict[int, set] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
@@ -126,32 +139,17 @@ def _inline_allows(source: str) -> Dict[int, set]:
     return allows
 
 
-def lint_source(
-    source: str,
-    path: "str | Path",
-    baseline: Optional[Dict[Tuple[str, str], int]] = None,
-    report: Optional[LintReport] = None,
-) -> LintReport:
-    """Lint one module's source text into (or onto) a report.
+_inline_allows = inline_allows
 
-    ``baseline`` maps ``(module_key, rule)`` to a remaining-budget count;
-    matched violations decrement it in place so one baseline dict can be
-    shared across the files of a run.
-    """
-    if report is None:
-        report = LintReport()
-    key = module_key(path)
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        raise LintError(f"{path}: cannot parse: {exc}") from exc
-    raw = scan_module(
-        tree,
-        path=key,
-        decision_path=_is_decision_path(key, source),
-        randomness_allowed=_randomness_allowed(key, source),
-    )
-    allows = _inline_allows(source)
+
+def _filter_violations(
+    raw: Sequence[Violation],
+    key: str,
+    allows: Dict[int, set],
+    baseline: Optional[Dict[Tuple[str, str], int]],
+    report: LintReport,
+) -> None:
+    """Route raw violations through inline allows then baseline budgets."""
     for violation in raw:
         allowed = allows.get(violation.line, ())
         if violation.rule in allowed or "*" in allowed:
@@ -164,6 +162,37 @@ def lint_source(
                 report.baselined.append(violation)
                 continue
         report.violations.append(violation)
+
+
+def lint_source(
+    source: str,
+    path: "str | Path",
+    baseline: Optional[Dict[Tuple[str, str], int]] = None,
+    report: Optional[LintReport] = None,
+    tree: Optional[ast.AST] = None,
+) -> LintReport:
+    """Lint one module's source text into (or onto) a report.
+
+    ``baseline`` maps ``(module_key, rule)`` to a remaining-budget count;
+    matched violations decrement it in place so one baseline dict can be
+    shared across the files of a run.  ``tree`` lets callers that already
+    parsed the module skip the second parse.
+    """
+    if report is None:
+        report = LintReport()
+    key = module_key(path)
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise LintError(f"{path}: cannot parse: {exc}") from exc
+    raw = scan_module(
+        tree,
+        path=key,
+        decision_path=_is_decision_path(key, source),
+        randomness_allowed=_randomness_allowed(key, source),
+    )
+    _filter_violations(raw, key, inline_allows(source), baseline, report)
     report.files_checked += 1
     return report
 
@@ -210,17 +239,59 @@ def _iter_python_files(paths: Iterable["str | Path"]) -> List[Path]:
 def lint_paths(
     paths: Sequence["str | Path"],
     baseline_path: Optional["str | Path"] = None,
+    *,
+    interproc: bool = False,
+    only_keys: Optional[Iterable[str]] = None,
 ) -> LintReport:
     """Lint every ``*.py`` under ``paths`` (files or directories).
 
     Files are visited in sorted order so reports are reproducible — the
     lint suite holds itself to its own determinism rules.
+
+    ``interproc=True`` additionally builds the whole-program call graph
+    and runs the DT201-DT204 pass (:mod:`repro.analysis.interproc`); its
+    violations go through the same inline-allow and baseline machinery,
+    attributed to the module each one is located in.
+
+    ``only_keys`` restricts *reporting* to the given module keys (the
+    ``--diff`` fast path): every file is still parsed — the call graph
+    needs the whole program — but intraprocedural scanning, violation
+    output and ``files_checked`` cover only the selected modules, and
+    stale-baseline accounting is skipped because a partial run cannot
+    distinguish a stale entry from an unvisited one.
     """
     baseline = load_baseline(baseline_path) if baseline_path is not None else None
     report = LintReport()
+    selected = None if only_keys is None else set(only_keys)
+    parsed: Dict[str, Tuple[str, ast.AST]] = {}
     for file_path in _iter_python_files(paths):
-        lint_source(file_path.read_text(), file_path, baseline=baseline, report=report)
-    if baseline:
+        source = file_path.read_text()
+        key = module_key(file_path)
+        if interproc:
+            try:
+                parsed[key] = (source, ast.parse(source, filename=str(file_path)))
+            except SyntaxError as exc:
+                raise LintError(f"{file_path}: cannot parse: {exc}") from exc
+        if selected is not None and key not in selected:
+            continue
+        tree = parsed[key][1] if key in parsed else None
+        lint_source(source, file_path, baseline=baseline, report=report, tree=tree)
+    if interproc:
+        from repro.analysis.callgraph import build_call_graph
+        from repro.analysis.interproc import analyze_graph
+
+        graph = build_call_graph(parsed)
+        by_module: Dict[str, List[Violation]] = {}
+        for violation in analyze_graph(graph):
+            by_module.setdefault(violation.path, []).append(violation)
+        for key in sorted(by_module):
+            if selected is not None and key not in selected:
+                continue
+            source = parsed[key][0]
+            _filter_violations(
+                by_module[key], key, inline_allows(source), baseline, report
+            )
+    if baseline and selected is None:
         report.stale_baseline = sorted(
             (key, rule, count) for (key, rule), count in baseline.items() if count > 0
         )

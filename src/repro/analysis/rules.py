@@ -48,6 +48,17 @@ Rule catalog (see DESIGN.md §8 for the full rationale):
     A class (in a decision path) defining ``__eq__`` without ``__hash__``:
     Python then sets ``__hash__ = None`` and the type silently stops being
     usable as a cache key.
+``DT107`` order-dependent-single-element-extraction
+    ``next(iter(<set>))``, zero-argument ``.pop()`` on a set-typed
+    expression, or ``.popitem()`` in a decision path.  Each extracts *one*
+    element whose identity depends on insertion/hash order — the sneakiest
+    form of DT101 because no loop is visible.  (``dict.popitem()`` is
+    LIFO on CPython ≥ 3.7, but which key is last inserted is itself
+    history-dependent; decisions must not hang off it.)
+
+Rules DT201-DT204 are the *interprocedural* pass (``lint --interproc``);
+they live in :mod:`repro.analysis.interproc` but are registered here so
+the baseline parser and the CLI catalog know them.
 """
 
 from __future__ import annotations
@@ -81,6 +92,11 @@ RULES: Dict[str, str] = {
     "DT104": "mutation of an immutable model object (Workflow / ProgressPlan) after construction",
     "DT105": "assignment to a self attribute missing from the class's __slots__",
     "DT106": "__eq__ defined without __hash__ (type silently becomes unhashable)",
+    "DT107": "order-dependent single-element extraction (next(iter(set)), set.pop(), dict.popitem()) in a decision path",
+    "DT201": "nondeterministic source reaches a decision-path function through the call graph",
+    "DT202": "unresolved dynamic call inside a decision-path function (annotate with `# repro: calls[...]`)",
+    "DT203": "work exceeding the caller's declared complexity budget (`# repro: budget O(...)`)",
+    "DT204": "hot-path function without a declared complexity budget",
 }
 
 #: Package sub-directories whose modules take scheduling decisions.  Set
@@ -196,6 +212,9 @@ class _LintVisitor(ast.NodeVisitor):
         self.violations: List[Violation] = []
         self._parents: List[ast.AST] = []
         self._function_stack: List[str] = []
+        #: iter(...) call nodes already reported as part of a DT107
+        #: ``next(iter(S))`` — DT101 skips them to avoid double-flagging.
+        self._dt107_inner: Set[int] = set()
 
     # -- plumbing ----------------------------------------------------------
 
@@ -266,15 +285,62 @@ class _LintVisitor(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        self._check_single_extraction(node)
         # DT101: list(S) / tuple(S) / enumerate(S) / "x".join(S) over a set.
         if isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_CALLS:
             for arg in node.args[:1]:
-                self._flag_set_iteration(arg, f"{func.id}(...)")
+                if id(arg) not in self._dt107_inner:
+                    self._flag_set_iteration(arg, f"{func.id}(...)")
         if isinstance(func, ast.Attribute) and func.attr == "join" and node.args:
             self._flag_set_iteration(node.args[0], "str.join(...)")
         self._check_randomness(node)
         self._check_frozen_setattr(node)
         self.generic_visit(node)
+
+    # -- DT107: order-dependent single-element extraction ----------------------
+
+    def _check_single_extraction(self, node: ast.Call) -> None:
+        if not self.decision_path:
+            return
+        func = node.func
+        # next(iter(S)) over a set: picks "some" element by hash order.
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "next"
+            and node.args
+            and isinstance(node.args[0], ast.Call)
+            and isinstance(node.args[0].func, ast.Name)
+            and node.args[0].func.id == "iter"
+            and node.args[0].args
+            and _is_setish(node.args[0].args[0])
+        ):
+            inner = node.args[0]
+            self._dt107_inner.add(id(inner))
+            self._dt107_inner.add(id(inner.args[0]))
+            self._emit(
+                "DT107",
+                node,
+                "next(iter(<set>)) extracts a hash-order-dependent element; "
+                "use min/max or sort first",
+            )
+            return
+        if isinstance(func, ast.Attribute) and not node.args and not node.keywords:
+            # set.pop() removes an arbitrary element; dict.popitem() the
+            # most recently inserted — both are history/hash dependent.
+            if func.attr == "pop" and _is_setish(func.value):
+                self._emit(
+                    "DT107",
+                    node,
+                    "set.pop() removes a hash-order-dependent element; "
+                    "pick deterministically (min/sorted) then discard",
+                )
+            elif func.attr == "popitem":
+                self._emit(
+                    "DT107",
+                    node,
+                    ".popitem() extracts an insertion-history-dependent entry; "
+                    "key the choice explicitly instead",
+                )
 
     def _check_randomness(self, node: ast.Call) -> None:
         if self.randomness_allowed:

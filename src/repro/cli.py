@@ -15,6 +15,10 @@ Commands:
   workflow's deadline miss from it).
 * ``lint`` — run the determinism lint (:mod:`repro.analysis`) over source
   trees; exits 1 on violations or a stale baseline, 2 on usage errors.
+  ``--interproc`` adds the whole-program taint/budget pass (DT201-DT204);
+  ``--diff REF`` restricts reporting to files changed versus a git ref.
+* ``callgraph`` — build the interprocedural call graph and export it as
+  DOT or JSON for inspection.
 
 Scenario subcommands accept ``--contracts`` to enable the runtime
 invariant checks of :mod:`repro.analysis.contracts` during the run.
@@ -23,12 +27,14 @@ invariant checks of :mod:`repro.analysis.contracts` during the run.
 from __future__ import annotations
 
 import argparse
+import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 import repro
-from repro.analysis import RULES, LintError, lint_paths
+from repro.analysis import RULES, LintError, lint_paths, module_key
 from repro.cluster.config import ClusterConfig
 from repro.cluster.simulation import ClusterSimulation
 from repro.core.client import make_planner
@@ -131,6 +137,22 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true", help="print the rule catalog and exit")
     lint.add_argument("--verbose", action="store_true",
                       help="also list suppressed and baselined violations")
+    lint.add_argument("--interproc", action="store_true",
+                      help="also run the whole-program taint/budget pass (DT201-DT204)")
+    lint.add_argument("--diff", metavar="REF",
+                      help="report only files changed versus the given git ref "
+                           "(the whole tree is still parsed; falls back to a "
+                           "full report when git is unavailable)")
+
+    callgraph = sub.add_parser(
+        "callgraph", help="build the interprocedural call graph and export it"
+    )
+    callgraph.add_argument("paths", nargs="*",
+                           help="files or directories to analyze "
+                                "(default: the installed repro package)")
+    callgraph.add_argument("--format", choices=("dot", "json"), default="dot",
+                           help="output format (default: dot)")
+    callgraph.add_argument("--out", help="output path (default: stdout)")
 
     trace = sub.add_parser("trace", help="generate the Yahoo!-like workflow set")
     trace.add_argument("--out", required=True, help="output JSON path")
@@ -208,14 +230,40 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_module_keys(ref: str) -> Optional[Set[str]]:
+    """Module keys of files changed versus ``ref``, or ``None`` when git
+    is unavailable (caller falls back to a full-tree report)."""
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--", "*.py"],
+            capture_output=True, text=True, timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        print(f"lint: git diff {ref!r} failed ({proc.stderr.strip()}); "
+              "reporting the full tree", file=sys.stderr)
+        return None
+    return {module_key(line) for line in proc.stdout.splitlines() if line.strip()}
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         for rule_id, description in sorted(RULES.items()):
             print(f"{rule_id}  {description}")
         return 0
     paths = args.paths or [str(Path(repro.__file__).parent)]
+    only_keys: Optional[Set[str]] = None
+    if args.diff:
+        only_keys = _changed_module_keys(args.diff)
+        if only_keys is not None and not only_keys:
+            print(f"lint: no Python files changed versus {args.diff}")
+            return 0
     try:
-        report = lint_paths(paths, baseline_path=args.baseline)
+        report = lint_paths(
+            paths, baseline_path=args.baseline,
+            interproc=args.interproc, only_keys=only_keys,
+        )
     except (LintError, OSError) as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
@@ -225,6 +273,31 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     # A stale baseline also fails: entries must be deleted as code gets
     # fixed, so the budget only ever shrinks.
     return 0 if report.clean and not report.stale_baseline else 1
+
+
+def _cmd_callgraph(args: argparse.Namespace) -> int:
+    from repro.analysis.callgraph import build_call_graph_from_paths
+
+    paths = args.paths or [str(Path(repro.__file__).parent)]
+    try:
+        graph = build_call_graph_from_paths(paths)
+    except (SyntaxError, OSError) as exc:
+        print(f"callgraph: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "dot":
+        rendered = graph.to_dot()
+    else:
+        rendered = json.dumps(graph.to_json(), indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(rendered)
+        print(
+            f"wrote {len(graph.functions)} functions / {len(set(graph.edges))} edges "
+            f"to {args.out}", file=sys.stderr,
+        )
+    else:
+        sys.stdout.write(rendered)
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -292,6 +365,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_trace_decisions(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "callgraph":
+        return _cmd_callgraph(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

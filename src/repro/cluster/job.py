@@ -125,7 +125,9 @@ class JobInProgress:
 
     def _duration(self, kind: TaskKind, index: int) -> float:
         if self._duration_sampler is not None:
-            return self._duration_sampler(kind, index)
+            # Injected per-wjob estimation-noise sampler (seeded in
+            # repro.noise); see JobTracker.duration_sampler_factory.
+            return self._duration_sampler(kind, index)  # repro: allow[DT202]
         return self.wjob.map_duration if kind is TaskKind.MAP else self.wjob.reduce_duration
 
     def obtain_map(self) -> Optional[Task]:

@@ -166,10 +166,14 @@ class JobTracker:
         self._listeners.append(listener)
 
     def _notify(self, hook: str, *args) -> None:
-        for listener in self._listeners:
+        # The hook name itself is the dynamic axis (one string per event
+        # kind), so no static target list is honest here; listeners are a
+        # fixed config-time set (tracer, Oozie, metrics, contract monitor),
+        # not a function of the workflow count.
+        for listener in self._listeners:  # repro: allow[DT203]
             fn = getattr(listener, hook, None)
             if fn is not None:
-                fn(*args)
+                fn(*args)  # repro: allow[DT202]
 
     # -- cluster introspection ----------------------------------------------
 
@@ -233,7 +237,9 @@ class JobTracker:
         wjob = wip.definition.job(wjob_name)
         sampler = None
         if self.duration_sampler_factory is not None:
-            sampler = self.duration_sampler_factory(wjob)
+            # Injected estimation-noise hook (repro.noise); samplers are
+            # seeded there, which is the deal DT102's allow-list encodes.
+            sampler = self.duration_sampler_factory(wjob)  # repro: allow[DT202]
         jip = JobInProgress(
             job_id=f"job_{next(self._job_seq):06d}",
             wjob=wjob,
@@ -271,6 +277,7 @@ class JobTracker:
             self.heartbeat(tracker)
             self.sim.schedule_after(self.config.heartbeat_interval, self._heartbeat_tick, tracker)
 
+    # repro: budget O(log n)
     def heartbeat(self, tracker: TaskTracker) -> List[Task]:
         """One tracker reports in; fill its free slots from the scheduler."""
         launched: List[Task] = []

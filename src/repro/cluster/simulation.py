@@ -190,7 +190,7 @@ class ClusterSimulation:
             if self.planner is not None:
                 # The client queries the master for the system slot count
                 # and computes the plan locally (paper steps a-f).
-                plan = self.planner(workflow, self.jobtracker.total_slots)
+                plan = self.planner(workflow, self.jobtracker.total_slots)  # repro: calls[repro.core.client.make_planner.planner]
                 if self.contracts is not None and hasattr(plan, "entries"):
                     # Algorithm 1 monotonicity, checked where the client
                     # would check it: at plan generation time.

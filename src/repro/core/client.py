@@ -147,7 +147,7 @@ class WohaClient:
         """Cap search + Algorithm 1 (steps c-d), entirely client-side."""
         if total_slots is None:
             total_slots = self.jobtracker.total_slots  # the one master query
-        job_order = self.prioritizer(workflow)
+        job_order = self.prioritizer(workflow)  # repro: calls[repro.core.priorities.hlf_order, repro.core.priorities.lpf_order, repro.core.priorities.mpf_order]
         if self.plan_cache is not None:
             _result, plan = self.plan_cache.get_or_build(
                 workflow,

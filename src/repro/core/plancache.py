@@ -125,7 +125,7 @@ class PlanCache:
             return entry
         self.misses += 1
         self.tracer.incr(self.COUNTER_SCOPE, "misses")
-        entry = build()
+        entry = build()  # repro: calls[repro.core.client._plan_entry]
         self._entries[key] = entry
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)

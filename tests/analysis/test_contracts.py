@@ -219,6 +219,26 @@ def test_simulation_contracts_counted_in_metrics(small_workflow):
     assert result.metrics.scheduler_counters["contracts"]["assertions"] > 0
 
 
+def test_contract_counters_aggregate_exactly_once_with_a_tracer(small_workflow):
+    # With both layers attached the checker mirrors every counter into the
+    # tracer, and run() aggregates only the tracer: the "contracts" scope
+    # in the metrics table must equal the checker's own counters, not
+    # twice them (the double-count run() explicitly avoids).
+    both = _mini_sim(contracts=True, trace=True)
+    both.add_workflow(small_workflow)
+    with_tracer = both.run()
+    mirrored = with_tracer.metrics.scheduler_counters["contracts"]
+    assert mirrored == dict(with_tracer.contracts.counters)
+    assert mirrored["assertions"] > 0
+
+    # The deterministic baseline: the same scenario with the checker
+    # aggregated directly (no tracer) lands on identical counts.
+    solo = _mini_sim(contracts=True)
+    solo.add_workflow(small_workflow)
+    without_tracer = solo.run()
+    assert without_tracer.metrics.scheduler_counters["contracts"] == mirrored
+
+
 def test_simulation_contracts_and_trace_share_one_table(small_workflow):
     sim = _mini_sim(contracts=True, trace=True)
     sim.add_workflow(small_workflow)

@@ -101,6 +101,13 @@ def test_module_key_normalises_to_package_root():
     assert module_key("tests/analysis/fixtures/dt101.py") == "dt101.py"
 
 
+def test_module_key_normalises_windows_separators():
+    # Baselines written on one platform must bind on another.
+    assert module_key(r"src\repro\core\plangen.py") == "repro/core/plangen.py"
+    assert module_key(r"C:\work\src\repro\noise.py") == "repro/noise.py"
+    assert module_key(r"fixtures\dt101.py") == "dt101.py"
+
+
 def test_decision_path_directive_opts_file_in():
     source = "# repro: decision-path\ndef f(w):\n    return list(w.prerequisites)\n"
     assert not lint_source(source, "anywhere.py").clean
@@ -134,6 +141,88 @@ def test_cli_usage_error_exits_2(tmp_path, capsys):
     missing = tmp_path / "nope.txt"
     assert cli_main(["lint", str(missing)]) == 2
     assert "lint:" in capsys.readouterr().err
+
+
+# -- diff mode (only_keys) ----------------------------------------------------
+
+
+def test_only_keys_restricts_reporting_to_selected_modules():
+    full = lint_paths([FIXTURES])
+    partial = lint_paths([FIXTURES], only_keys={"dt102_wallclock.py"})
+    assert partial.files_checked == 1 < full.files_checked
+    assert [v.rule for v in partial.violations] == ["DT102"]
+    assert {v.path for v in partial.violations} == {"dt102_wallclock.py"}
+
+
+def test_only_keys_skips_stale_baseline_accounting(tmp_path):
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("dt101_set_iteration.py:DT101:1\n")
+    partial = lint_paths(
+        [FIXTURES], baseline_path=baseline, only_keys={"dt102_wallclock.py"}
+    )
+    # A partial run cannot tell a stale entry from an unvisited module.
+    assert partial.stale_baseline == []
+    full = lint_paths([FIXTURES / "clean_module.py"], baseline_path=baseline)
+    assert full.stale_baseline  # the full run still reports it
+
+
+def test_only_keys_still_sees_whole_program_for_interproc():
+    # The selected module's violation chains through an unselected helper:
+    # the graph must cover the whole corpus even when reporting one file.
+    partial = lint_paths(
+        [FIXTURES / "interproc"], interproc=True, only_keys={"ip_sink.py"}
+    )
+    (hit,) = partial.violations
+    assert hit.rule == "DT201"
+    assert "ip_helpers.py::staged_inputs" in hit.message
+
+
+def test_changed_module_keys_from_a_real_git_repo(tmp_path, monkeypatch):
+    import shutil
+    import subprocess
+
+    from repro.cli import _changed_module_keys
+
+    if shutil.which("git") is None:
+        pytest.skip("git not installed")
+    env = {"GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+           "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"}
+    for key, value in env.items():
+        monkeypatch.setenv(key, value)
+    monkeypatch.chdir(tmp_path)
+    subprocess.run(["git", "init", "-q"], check=True)
+    (tmp_path / "a.py").write_text("x = 1\n")
+    (tmp_path / "b.py").write_text("y = 1\n")
+    subprocess.run(["git", "add", "."], check=True)
+    subprocess.run(["git", "commit", "-qm", "seed"], check=True)
+    assert _changed_module_keys("HEAD") == set()
+    (tmp_path / "a.py").write_text("x = 2\n")
+    assert _changed_module_keys("HEAD") == {"a.py"}
+    assert _changed_module_keys("not-a-ref") is None  # falls back to full tree
+
+
+def test_cli_diff_with_no_changed_files_exits_clean(tmp_path, monkeypatch, capsys):
+    import shutil
+    import subprocess
+
+    if shutil.which("git") is None:
+        pytest.skip("git not installed")
+    for key in ("GIT_AUTHOR_NAME", "GIT_COMMITTER_NAME"):
+        monkeypatch.setenv(key, "t")
+    for key in ("GIT_AUTHOR_EMAIL", "GIT_COMMITTER_EMAIL"):
+        monkeypatch.setenv(key, "t@t")
+    monkeypatch.chdir(tmp_path)
+    subprocess.run(["git", "init", "-q"], check=True)
+    fixture = tmp_path / "dirty.py"
+    fixture.write_text("import time\ndef f():\n    return time.time()\n")
+    subprocess.run(["git", "add", "."], check=True)
+    subprocess.run(["git", "commit", "-qm", "seed"], check=True)
+    # The file has a violation, but nothing changed versus HEAD.
+    assert cli_main(["lint", str(fixture), "--diff", "HEAD"]) == 0
+    assert "no Python files changed" in capsys.readouterr().out
+    # Once it changes, the violation is back in scope.
+    fixture.write_text("import time\ndef g():\n    return time.time()\n")
+    assert cli_main(["lint", str(fixture), "--diff", "HEAD"]) == 1
 
 
 def test_directory_lint_is_deterministic_and_counts_files():

@@ -30,3 +30,29 @@ def test_cli_gate_matches_library_gate(capsys):
     exit_code = cli_main(["lint", str(PACKAGE_ROOT), "--baseline", str(BASELINE)])
     out = capsys.readouterr().out
     assert exit_code == 0, out
+
+
+def test_source_tree_passes_the_interprocedural_gate():
+    """The whole-program pass (DT201-DT204) is binding too: a set-order
+    helper reachable from a decision path, an undeclared budget on a §IV
+    hot-path function, or an O(n) scan under an O(log n) budget anywhere
+    in ``src/repro`` fails the suite."""
+    report = lint_paths([PACKAGE_ROOT], baseline_path=BASELINE, interproc=True)
+    rendered = "\n".join(v.render() for v in report.violations)
+    assert report.clean, f"interprocedural lint violations:\n{rendered}"
+    assert not report.stale_baseline
+
+
+def test_hot_path_registry_functions_all_declare_budgets():
+    """Belt and braces for the §IV complexity claims: every registry entry
+    resolves to a real function carrying an explicit budget."""
+    from repro.analysis.callgraph import build_call_graph_from_paths
+    from repro.analysis.interproc import HOT_PATH_REGISTRY
+
+    graph = build_call_graph_from_paths([PACKAGE_ROOT])
+    for mod_key, names in HOT_PATH_REGISTRY.items():
+        assert mod_key in graph.modules, mod_key
+        for name in names:
+            fn = graph.modules[mod_key].functions.get(name)
+            assert fn is not None, f"{mod_key}: {name} not found"
+            assert fn.budget is not None, f"{mod_key}: {name} has no budget"

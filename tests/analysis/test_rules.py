@@ -11,6 +11,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import RULES, lint_paths, lint_source
+from repro.analysis.interproc import INTERPROC_RULES
 from repro.cli import main as cli_main
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -22,11 +23,24 @@ RULE_FIXTURES = {
     "DT104": "dt104_frozen_mutation.py",
     "DT105": "dt105_slots.py",
     "DT106": "dt106_eq_without_hash.py",
+    "DT107": "dt107_order_pop.py",
+}
+
+#: The interprocedural rules' fixtures live in ``fixtures/interproc/`` and
+#: are exercised (whole-corpus, ``interproc=True``) by test_interproc.py.
+INTERPROC_FIXTURES = {
+    "DT201": "interproc/ip_sink.py",
+    "DT202": "interproc/ip_dynamic.py",
+    "DT203": "interproc/ip_budget.py",
+    "DT204": "interproc/ip_hot.py",
 }
 
 
 def test_every_rule_has_a_fixture():
-    assert set(RULE_FIXTURES) == set(RULES)
+    assert set(RULE_FIXTURES) | set(INTERPROC_FIXTURES) == set(RULES)
+    assert set(INTERPROC_FIXTURES) == set(INTERPROC_RULES)
+    for rel in INTERPROC_FIXTURES.values():
+        assert (FIXTURES / rel).is_file(), rel
 
 
 @pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
@@ -125,6 +139,41 @@ def test_setattr_in_post_init_allowed():
 def test_nonfloat_identifiers_not_durationish():
     source = "def f(index, count):\n    return index == count\n"
     assert lint_source(source, "repro/core/x.py").clean
+
+
+def test_dt107_set_pop_and_dict_popitem_fire():
+    source = (
+        "# repro: decision-path\n"
+        "def f(workflow, table):\n"
+        "    a = workflow.prerequisites.pop()\n"
+        "    b = table.popitem()\n"
+        "    return a, b\n"
+    )
+    report = lint_source(source, "x.py")
+    assert [v.rule for v in report.violations] == ["DT107", "DT107"]
+
+
+def test_dt107_does_not_double_report_the_inner_iter_as_dt101():
+    source = (
+        "# repro: decision-path\n"
+        "def f(workflow):\n"
+        "    return next(iter(workflow.prerequisites))\n"
+    )
+    report = lint_source(source, "x.py")
+    assert [v.rule for v in report.violations] == ["DT107"]
+
+
+def test_dt107_precision_deterministic_extractions_allowed():
+    source = (
+        "# repro: decision-path\n"
+        "def f(workflow, queue, history):\n"
+        "    a = min(workflow.prerequisites)\n"
+        "    b = next(iter(sorted(workflow.prerequisites)))\n"
+        "    c = queue.pop(0)\n"                  # positional: list semantics
+        "    d = history.popitem(last=False)\n"   # keyword: declared FIFO order
+        "    return a, b, c, d\n"
+    )
+    assert lint_source(source, "x.py").clean
 
 
 def test_eq_with_hash_allowed_and_non_decision_path_exempt():

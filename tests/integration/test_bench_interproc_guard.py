@@ -1,0 +1,30 @@
+"""Guard for the interprocedural-analysis bench machinery.
+
+``benchmarks/bench_interproc_speed.py`` is ``perf``-marked and excluded
+from the tier-1 suite, so this tier-1 test runs its measurement path on a
+toy corpus (one repeat, the interproc fixture directory) and pins the
+payload shape — the same arrangement as ``test_bench_lint_guard``.
+"""
+
+import json
+from pathlib import Path
+
+from benchmarks.bench_interproc_speed import BUDGET_SECONDS, run_bench
+
+FIXTURES = Path(__file__).resolve().parent.parent / "analysis" / "fixtures" / "interproc"
+
+
+def test_bench_payload_shape_on_toy_corpus(tmp_path):
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("")  # empty budget; fixture violations are expected
+    payload = run_bench(paths=[FIXTURES], baseline=baseline, repeats=1)
+
+    assert json.loads(json.dumps(payload)) == payload  # JSON-serialisable
+    assert payload["bench"] == "interproc_speed"
+    assert payload["files_checked"] >= 6
+    assert payload["functions"] >= 7
+    assert payload["edges"] >= 2
+    assert payload["violations"] >= 5  # one per DT201-DT204 seeding (DT201 twice)
+    assert payload["best_seconds"] > 0
+    assert payload["files_per_sec"] > 0
+    assert payload["budget_seconds"] == BUDGET_SECONDS

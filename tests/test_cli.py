@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -133,10 +135,11 @@ class TestContractsFlag:
 
 
 class TestLintCommand:
-    def test_list_rules_names_all_six(self, capsys):
+    def test_list_rules_names_the_full_catalog(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("DT101", "DT102", "DT103", "DT104", "DT105", "DT106"):
+        for rule_id in ("DT101", "DT102", "DT103", "DT104", "DT105", "DT106",
+                        "DT107", "DT201", "DT202", "DT203", "DT204"):
             assert rule_id in out
 
     def test_lint_defaults_to_package_tree(self, capsys):
@@ -144,3 +147,34 @@ class TestLintCommand:
         out = capsys.readouterr().out
         assert "0 violation(s)" in out
         assert "file(s) checked" in out
+
+    def test_lint_interproc_package_tree_is_clean(self, capsys):
+        assert main(["lint", "--interproc"]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_lint_diff_unknown_ref_falls_back_to_full_report(self, capsys):
+        assert main(["lint", "--diff", "definitely-not-a-ref"]) == 0
+        captured = capsys.readouterr()
+        assert "reporting the full tree" in captured.err
+        assert "file(s) checked" in captured.out
+
+
+class TestCallgraphCommand:
+    def test_dot_on_stdout_defaults_to_package_tree(self, capsys):
+        assert main(["callgraph"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph callgraph {")
+        assert "select_task" in out
+
+    def test_json_export_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "graph.json"
+        assert main(["callgraph", "--format", "json", "--out", str(out_path)]) == 0
+        dump = json.loads(out_path.read_text())
+        assert set(dump) >= {"modules", "functions", "edges", "dynamic_calls"}
+        assert any(f["qualname"].endswith("WohaScheduler.select_task")
+                   for f in dump["functions"])
+        assert "wrote" in capsys.readouterr().err
+
+    def test_unreadable_path_exits_2(self, tmp_path, capsys):
+        assert main(["callgraph", str(tmp_path / "nope.py")]) == 2
+        assert "callgraph:" in capsys.readouterr().err
