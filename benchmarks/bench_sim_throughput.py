@@ -1,0 +1,200 @@
+"""Simulation-runtime throughput: quiescent fast path vs. reference path.
+
+Two scenarios, matching how the runtime fast path (event-kernel tuples,
+quiescent heartbeat parking, incremental JobTracker bookkeeping; DESIGN.md
+§10) earns its keep:
+
+* **yahoo_trace** — the full Yahoo! trace on the paper's 200m+200r cluster
+  with a 3 s heartbeat: a busy cluster where launch/complete events
+  dominate, so parking trims the tick tail but the win is modest.
+* **periodic_200node** — 200 nodes polling every 3 s while a handful of
+  long-task chains run: almost every tick is a no-op, so the reference
+  path burns an order of magnitude more events than the fast path parks
+  away.
+
+Both scenarios run the *same* simulation twice, toggling only
+``ClusterConfig.quiescent_heartbeats`` — the decision streams are
+byte-identical by construction (enforced in tier-1 by
+``tests/integration/test_heartbeat_equivalence.py``), so wall-clock and
+event counts are directly comparable.
+
+Besides the printed table, the run records a machine-readable
+``BENCH_sim_throughput.json`` at the repo root so subsequent PRs have a
+perf trajectory to compare against.  The JSON shape is pinned by
+``tests/integration/test_bench_sim_throughput_guard.py``.
+
+The measurement test is marked ``perf`` and therefore deselected by the
+default ``-m "not perf"`` addopts; run it explicitly with
+``pytest benchmarks/bench_sim_throughput.py -m perf``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import ClusterSimulation
+from repro.metrics.report import format_table
+from repro.schedulers.fifo import FifoScheduler
+from repro.workflow.builder import WorkflowBuilder
+from repro.workflow.model import Workflow
+
+from benchmarks._helpers import emit, yahoo_trace
+
+#: Trajectory file, kept at the repo root next to the other stock-taking docs.
+JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_sim_throughput.json")
+
+#: Hadoop's classic 3-second TaskTracker poll.
+HEARTBEAT_INTERVAL = 3.0
+
+#: Keys the guard test pins so the trajectory file cannot silently rot.
+SCENARIO_KEYS = ("yahoo_trace", "periodic_200node")
+METRIC_KEYS = (
+    "reference_wall_s",
+    "fast_wall_s",
+    "speedup",
+    "reference_events",
+    "fast_events",
+    "reference_events_per_sec",
+    "fast_events_per_sec",
+)
+
+
+def periodic_workflows(count: int = 6, task_s: float = 300.0) -> List[Workflow]:
+    """Staggered long-task ETL chains: ticks dominate, so parking pays most."""
+    workflows = []
+    for i in range(count):
+        workflows.append(
+            WorkflowBuilder(f"chain{i}")
+            .submit_at(float(5 * i))
+            .job("extract", maps=8, reduces=4, map_s=task_s, reduce_s=task_s / 1.5)
+            .job("transform", maps=6, reduces=2, map_s=task_s, reduce_s=task_s / 1.5,
+                 after=["extract"])
+            .job("load", maps=4, reduces=1, map_s=task_s / 1.5, reduce_s=task_s / 3,
+                 after=["transform"])
+            .deadline(relative=20 * task_s)
+            .build()
+        )
+    return workflows
+
+
+def _measure(
+    make_config: Callable[[bool], ClusterConfig],
+    workflows: Sequence[Workflow],
+    repeats: int,
+) -> Dict[str, float]:
+    """Best-of-``repeats`` wall clock for one scenario, fast vs. reference.
+
+    Event counts are deterministic across repeats (same seedless decision
+    stream), so only the wall clock takes the best-of treatment.
+    """
+    walls: Dict[str, float] = {}
+    events: Dict[str, int] = {}
+    for label, quiescent in (("reference", False), ("fast", True)):
+        best = float("inf")
+        for _ in range(repeats):
+            sim = ClusterSimulation(
+                make_config(quiescent), FifoScheduler(), submission="oozie"
+            )
+            sim.add_workflows(workflows)
+            start = time.perf_counter()
+            result = sim.run()
+            best = min(best, time.perf_counter() - start)
+            events[label] = result.events_processed
+        walls[label] = best
+    return {
+        "reference_wall_s": round(walls["reference"], 4),
+        "fast_wall_s": round(walls["fast"], 4),
+        "speedup": round(walls["reference"] / walls["fast"], 2),
+        "reference_events": events["reference"],
+        "fast_events": events["fast"],
+        "reference_events_per_sec": round(events["reference"] / walls["reference"], 1),
+        "fast_events_per_sec": round(events["fast"] / walls["fast"], 1),
+    }
+
+
+def run_bench(
+    trace: Optional[Sequence[Workflow]] = None,
+    periodic: Optional[Sequence[Workflow]] = None,
+    trace_slots: int = 200,
+    trace_nodes: int = 40,
+    periodic_nodes: int = 200,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Measure both scenarios and return the trajectory payload."""
+    trace = list(trace) if trace is not None else list(yahoo_trace())
+    periodic = list(periodic) if periodic is not None else periodic_workflows()
+
+    def trace_config(quiescent: bool) -> ClusterConfig:
+        return ClusterConfig.from_total_slots(
+            trace_slots,
+            trace_slots,
+            nodes=trace_nodes,
+            heartbeat_interval=HEARTBEAT_INTERVAL,
+            quiescent_heartbeats=quiescent,
+        )
+
+    def periodic_config(quiescent: bool) -> ClusterConfig:
+        return ClusterConfig(
+            num_nodes=periodic_nodes,
+            heartbeat_interval=HEARTBEAT_INTERVAL,
+            quiescent_heartbeats=quiescent,
+        )
+
+    scenarios = {
+        "yahoo_trace": _measure(trace_config, trace, repeats),
+        "periodic_200node": _measure(periodic_config, periodic, repeats),
+    }
+    return {
+        "bench": "sim_throughput",
+        "heartbeat_interval": HEARTBEAT_INTERVAL,
+        "cluster": {"trace_nodes": trace_nodes, "periodic_nodes": periodic_nodes},
+        "corpus": {
+            "trace_workflows": len(trace),
+            "periodic_workflows": len(periodic),
+        },
+        "scenarios": scenarios,
+    }
+
+
+def write_json(payload: Dict[str, object], path: str = JSON_PATH) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+@pytest.mark.perf
+def test_sim_throughput():
+    payload = run_bench()
+    scenarios = payload["scenarios"]
+
+    rows = [
+        [
+            name,
+            scenarios[name]["reference_wall_s"],
+            scenarios[name]["fast_wall_s"],
+            scenarios[name]["speedup"],
+            scenarios[name]["reference_events"],
+            scenarios[name]["fast_events"],
+        ]
+        for name in SCENARIO_KEYS
+    ]
+    table = format_table(
+        ["scenario", "ref wall s", "fast wall s", "speedup", "ref events", "fast events"],
+        rows,
+        title=f"Simulation runtime throughput (heartbeat {HEARTBEAT_INTERVAL}s)",
+        float_fmt="{:.2f}",
+    )
+    emit("sim_throughput", table)
+    write_json(payload)
+
+    # The tentpole's acceptance bar (ISSUE 5): >=3x wall clock on the
+    # 200-node periodic scenario; the busy trace must at least shed events.
+    assert scenarios["periodic_200node"]["speedup"] >= 3.0
+    assert scenarios["periodic_200node"]["fast_events"] < scenarios["periodic_200node"]["reference_events"]
+    assert scenarios["yahoo_trace"]["fast_events"] < scenarios["yahoo_trace"]["reference_events"]

@@ -89,7 +89,12 @@ HOT_PATH_REGISTRY: Dict[str, Tuple[str, ...]] = {
         "WohaScheduler.select_task",
         "WohaScheduler._advance_ct_heads",
     ),
-    "repro/cluster/jobtracker.py": ("JobTracker.heartbeat",),
+    "repro/cluster/jobtracker.py": (
+        "JobTracker.heartbeat",
+        "JobTracker._pick_tracker",
+        "JobTracker._notify",
+        "JobTracker._wake_parked",
+    ),
 }
 
 #: Intraprocedural rules whose hits double as taint seeds.

@@ -25,6 +25,14 @@ class ClusterConfig:
             finishes (Hadoop's out-of-band heartbeat,
             ``mapreduce.tasktracker.outofband.heartbeat``).  Keeps slot idle
             time near zero; on by default, matching a tuned cluster.
+        quiescent_heartbeats: simulator fast path — park a tracker's
+            periodic heartbeat timer once a tick launches nothing and its
+            slots are full or unservable, waking it (re-aligned to its
+            original phase grid) on any state change that could make the
+            scheduler answer differently.  Only active alongside
+            ``eager_heartbeats`` (where every parked tick is provably a
+            no-op); decisions and traces are byte-identical either way
+            (DESIGN.md §10).  On by default.
         submit_task_duration: seconds one WOHA submitter map task occupies a
             map slot to load jars and initialise a wjob (§III-A).
         oozie_poll_interval: seconds between Oozie-lite readiness polls for
@@ -37,6 +45,7 @@ class ClusterConfig:
     reduce_slots_per_node: int = 1
     heartbeat_interval: float = 3.0
     eager_heartbeats: bool = True
+    quiescent_heartbeats: bool = True
     submit_task_duration: float = 1.0
     oozie_poll_interval: float = 0.0
 

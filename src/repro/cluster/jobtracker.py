@@ -17,8 +17,12 @@ clients; dependency bookkeeping is O(edges) counter decrements.
 from __future__ import annotations
 
 import itertools
+import math
+from bisect import bisect_left, insort
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Union
+
+from repro.analysis.annotations import hot_path
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.job import JobInProgress, SubmitterJob
@@ -58,6 +62,17 @@ class WorkflowInProgress:
         }
         self.scheduled_tasks = 0
         self.completion_time: Optional[float] = None
+        # Incremental readiness/activity tracking (DESIGN.md §10): the
+        # ready set is a sorted list of topological indexes maintained on
+        # prerequisite completion and submission, and active jobs live in
+        # an insertion-ordered dict — so ready_wjobs()/active_jobs() stop
+        # rescanning the whole workflow per call.
+        order = definition.topological_order()
+        self._topo_index: Dict[str, int] = {name: i for i, name in enumerate(order)}
+        self._ready_indexes: List[int] = [
+            i for i, name in enumerate(order) if not self.pending_prereqs[name]
+        ]
+        self._active_jobs: Dict[str, JobInProgress] = {}
 
     @property
     def name(self) -> str:
@@ -78,15 +93,32 @@ class WorkflowInProgress:
     def ready_wjobs(self) -> List[str]:
         """Wjobs whose prerequisites have all finished and which are not yet
         submitted, in the workflow's deterministic topological order."""
-        return [
-            name
-            for name in self.definition.topological_order()
-            if not self.pending_prereqs[name] and name not in self.jobs
-        ]
+        order = self.definition.topological_order()
+        return [order[i] for i in self._ready_indexes]
 
     def active_jobs(self) -> List[JobInProgress]:
         """Submitted-but-unfinished wjobs, submission-ordered."""
-        return [jip for jip in self.jobs.values() if not jip.completed]
+        return list(self._active_jobs.values())
+
+    # -- incremental bookkeeping (called by the JobTracker) ----------------
+
+    def _register_job(self, name: str, jip: JobInProgress) -> None:
+        """A wjob was submitted: it leaves the ready set and becomes active."""
+        self.jobs[name] = jip
+        self._active_jobs[name] = jip
+        idx = self._topo_index[name]
+        pos = bisect_left(self._ready_indexes, idx)
+        if pos < len(self._ready_indexes) and self._ready_indexes[pos] == idx:
+            del self._ready_indexes[pos]
+
+    def _mark_ready(self, name: str) -> None:
+        """``name``'s last prerequisite finished: it joins the ready set."""
+        if name not in self.jobs:
+            insort(self._ready_indexes, self._topo_index[name])
+
+    def _mark_job_completed(self, name: str) -> None:
+        self.completed.add(name)
+        self._active_jobs.pop(name, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -134,8 +166,37 @@ class JobTracker:
         self._free_maps = config.total_map_slots
         self._free_reduces = config.total_reduce_slots
         self._rr_pointer = 0  # round-robin start for tracker selection
+        # Free-tracker rings: bit i is set iff trackers[i] is alive with a
+        # free slot of the pool (key True = map pool).  _pick_tracker reads
+        # the round-robin pointer's cyclic successor with two lowest-set-bit
+        # probes instead of an O(n) scan; bits are re-derived on every slot
+        # transition by _update_free_mask.
+        full_mask = (1 << config.num_nodes) - 1
+        self._free_masks: Dict[bool, int] = {
+            True: full_mask if config.map_slots_per_node > 0 else 0,
+            False: full_mask if config.reduce_slots_per_node > 0 else 0,
+        }
         self._listeners: List[object] = []
+        # Per-hook pre-bound listener callables (built in add_listener) so
+        # _notify dispatches without per-event getattr probing.
+        self._hook_listeners: Dict[str, List[Callable]] = {hook: [] for hook in self._HOOKS}
         self._in_round = False
+        # Quiescent-heartbeat state (DESIGN.md §10): ids of trackers whose
+        # periodic timer is parked (insertion-ordered for deterministic
+        # wake-ups), and each tracker's phase anchor — the time its last
+        # tick fired — so wakes re-align to the original tick grid.
+        # Parking is only sound alongside eager heartbeats, where every
+        # periodic tick is provably a no-op (see DESIGN.md §10).
+        self._hb_quiescent = (
+            config.quiescent_heartbeats
+            and config.eager_heartbeats
+            and config.heartbeat_interval != float("inf")
+        )
+        self._parked: Dict[int, None] = {}
+        self._hb_anchor: List[float] = [0.0] * config.num_nodes
+        # Unfinished wjobs registered via submit_wjob (submitters excluded),
+        # maintained on submission/completion transitions.
+        self._wjob_running = 0
         self.speculator = None  # optional SpeculationManager
         self.tracer: Union[DecisionTracer, NullTracer] = NULL_TRACER
         # Free-up timestamps per slot pool (True = map pool), consumed
@@ -161,19 +222,34 @@ class JobTracker:
 
     # -- listeners ---------------------------------------------------------
 
+    #: Every hook _notify can dispatch; add_listener pre-binds per hook.
+    _HOOKS = (
+        "on_task_launch",
+        "on_task_complete",
+        "on_task_lost",
+        "on_wjob_submitted",
+        "on_job_completed",
+        "on_workflow_submitted",
+        "on_workflow_completed",
+    )
+
     def add_listener(self, listener: object) -> None:
         """Register an event listener (metrics, Oozie, post-mortem, ...)."""
         self._listeners.append(listener)
-
-    def _notify(self, hook: str, *args) -> None:
-        # The hook name itself is the dynamic axis (one string per event
-        # kind), so no static target list is honest here; listeners are a
-        # fixed config-time set (tracer, Oozie, metrics, contract monitor),
-        # not a function of the workflow count.
-        for listener in self._listeners:  # repro: allow[DT203]
+        for hook in self._HOOKS:
             fn = getattr(listener, hook, None)
             if fn is not None:
-                fn(*args)  # repro: allow[DT202]
+                self._hook_listeners[hook].append(fn)
+
+    @hot_path
+    # repro: budget O(1)
+    def _notify(self, hook: str, *args) -> None:
+        # Listeners are a fixed config-time set (tracer, Oozie, metrics,
+        # contract monitor), not a function of the workflow count; the
+        # per-hook bound-method lists are built once in add_listener so
+        # dispatch does no per-event getattr probing.
+        for fn in self._hook_listeners[hook]:  # repro: allow[DT203]
+            fn(*args)  # repro: allow[DT202]
 
     # -- cluster introspection ----------------------------------------------
 
@@ -186,9 +262,10 @@ class JobTracker:
         """Cluster-wide free slots of the given kind."""
         return self._free_maps if kind.uses_map_slot else self._free_reduces
 
+    # repro: budget O(1)
     def running_wjob_count(self) -> int:
         """Unfinished wjobs currently registered (submitter jobs excluded)."""
-        return sum(1 for jip in self.jobs if not jip.completed and not isinstance(jip, SubmitterJob))
+        return self._wjob_running
 
     # -- submission paths ----------------------------------------------------
 
@@ -221,6 +298,7 @@ class JobTracker:
             for name in workflow.roots():
                 submitter.unlock(name)
             self.scheduler.on_wjob_submitted(submitter, self.sim.now)
+        self._mark_scheduler_dirty()
         self.schedule_round()
         return wip
 
@@ -247,10 +325,12 @@ class JobTracker:
             submit_time=self.sim.now,
             duration_sampler=sampler,
         )
-        wip.jobs[wjob_name] = jip
+        wip._register_job(wjob_name, jip)
         self.jobs.append(jip)
+        self._wjob_running += 1
         self._notify("on_wjob_submitted", jip, self.sim.now)
         self.scheduler.on_wjob_submitted(jip, self.sim.now)
+        self._mark_scheduler_dirty()
         self.schedule_round()
         return jip
 
@@ -270,25 +350,88 @@ class JobTracker:
             return
         for tracker in self.trackers:
             offset = interval * (tracker.tracker_id + 1) / len(self.trackers)
-            self.sim.schedule(self.sim.now + offset, self._heartbeat_tick, tracker)
+            tick_time = self.sim.now + offset
+            self._hb_anchor[tracker.tracker_id] = tick_time
+            self.sim.schedule(tick_time, self._heartbeat_tick, tracker)
 
     def _heartbeat_tick(self, tracker: TaskTracker) -> None:
-        if tracker.alive:
-            self.heartbeat(tracker)
-            self.sim.schedule_after(self.config.heartbeat_interval, self._heartbeat_tick, tracker)
+        if not tracker.alive:
+            # The chain dies with the tracker; revive_tracker re-arms it.
+            return
+        launched = self.heartbeat(tracker)
+        tid = tracker.tracker_id
+        self._hb_anchor[tid] = self.sim.now
+        if self._hb_quiescent and not launched and self._tracker_quiescent(tracker):
+            # Park the timer: under eager heartbeats this tick was a no-op
+            # and every future one would be too, until a wake condition
+            # (_mark_scheduler_dirty / a slot freeing) re-arms it on the
+            # same phase grid.
+            self._parked[tid] = None
+            return
+        self._parked.pop(tid, None)
+        self.sim.schedule_after(self.config.heartbeat_interval, self._heartbeat_tick, tracker)
+
+    # repro: budget O(1)
+    def _tracker_quiescent(self, tracker: TaskTracker) -> bool:
+        """Park test: every slot kind is full or provably unservable."""
+        scheduler = self.scheduler
+        for kind in (TaskKind.MAP, TaskKind.REDUCE):
+            if tracker.free_slots(kind) > 0 and scheduler.has_runnable(kind):
+                return False
+        return True
 
     # repro: budget O(log n)
     def heartbeat(self, tracker: TaskTracker) -> List[Task]:
         """One tracker reports in; fill its free slots from the scheduler."""
         launched: List[Task] = []
+        scheduler = self.scheduler
         for kind in (TaskKind.MAP, TaskKind.REDUCE):
             while tracker.free_slots(kind) > 0:
-                task = self.scheduler.select_task(kind, self.sim.now)
+                if not scheduler.has_runnable(kind):
+                    # A prior select_task proved idle and nothing changed
+                    # since; asking again could not answer differently.
+                    break
+                task = scheduler.select_task(kind, self.sim.now)
                 if task is None:
+                    scheduler.note_idle(kind)
                     break
                 self._launch(task, tracker)
                 launched.append(task)
         return launched
+
+    @hot_path
+    # repro: budget O(n)
+    def _wake_parked(self) -> None:
+        """Re-arm parked heartbeat timers whose tracker could now be served.
+
+        A woken timer is re-aligned to the tracker's original phase grid —
+        the smallest ``anchor + k * interval`` strictly after ``now`` — so
+        tick times match the never-parked reference path exactly.
+        """
+        now = self.sim.now
+        interval = self.config.heartbeat_interval
+        woken = [
+            tid for tid in self._parked if not self._tracker_quiescent(self.trackers[tid])
+        ]
+        for tid in woken:
+            del self._parked[tid]
+            anchor = self._hb_anchor[tid]
+            tick = anchor + (math.floor((now - anchor) / interval) + 1) * interval
+            if tick <= now:
+                tick += interval
+            self.sim.schedule(tick, self._heartbeat_tick, self.trackers[tid])
+
+    # repro: budget O(n)
+    def _mark_scheduler_dirty(self) -> None:
+        """A state change could make ``select_task`` answer differently:
+        refresh the scheduler's runnability hints and wake parked timers."""
+        self.scheduler.note_state_change()
+        if self._parked:
+            self._wake_parked()
+
+    def notify_plan_installed(self) -> None:
+        """A scheduling plan was (re)installed mid-run (replanning path)."""
+        self._mark_scheduler_dirty()
 
     def schedule_round(self) -> None:
         """Cluster-wide assignment sweep (out-of-band heartbeat path).
@@ -306,11 +449,15 @@ class JobTracker:
             for kind in (TaskKind.MAP, TaskKind.REDUCE):
                 while self.free_slots(kind) > 0:
                     task = self.scheduler.select_task(kind, self.sim.now)
-                    if task is None and self.speculator is not None:
-                        # Idle slots may back up stragglers (Hadoop's
-                        # speculative execution kicks in when the regular
-                        # scheduler has nothing to assign).
-                        task = self.speculator.select_backup(kind, self.sim.now)
+                    if task is None:
+                        # A proven-idle answer: parked heartbeat timers may
+                        # reuse it until the next state change.
+                        self.scheduler.note_idle(kind)
+                        if self.speculator is not None:
+                            # Idle slots may back up stragglers (Hadoop's
+                            # speculative execution kicks in when the regular
+                            # scheduler has nothing to assign).
+                            task = self.speculator.select_backup(kind, self.sim.now)
                     if task is None:
                         break
                     tracker = self._pick_tracker(kind)
@@ -318,15 +465,39 @@ class JobTracker:
         finally:
             self._in_round = False
 
+    @hot_path
+    # repro: budget O(log n)
     def _pick_tracker(self, kind: TaskKind) -> TaskTracker:
-        """Round-robin over trackers with a free slot of ``kind``."""
-        n = len(self.trackers)
-        for i in range(n):
-            tracker = self.trackers[(self._rr_pointer + i) % n]
-            if tracker.alive and tracker.free_slots(kind) > 0:
-                self._rr_pointer = (self._rr_pointer + i + 1) % n
-                return tracker
-        raise RuntimeError("no free slot despite positive cluster-wide count")
+        """Round-robin over trackers with a free slot of ``kind``.
+
+        The free-tracker ring is a bitmask over tracker ids; the cyclic
+        successor of the round-robin pointer falls out of two word-packed
+        lowest-set-bit probes (first set bit at or after the pointer, else
+        wrap to the lowest set bit) instead of an O(n) probe loop.
+        """
+        mask = self._free_masks[kind.uses_map_slot]
+        if not mask:
+            raise RuntimeError("no free slot despite positive cluster-wide count")
+        upper = mask >> self._rr_pointer
+        if upper:
+            tid = self._rr_pointer + ((upper & -upper).bit_length() - 1)
+        else:
+            tid = (mask & -mask).bit_length() - 1
+        self._rr_pointer = (tid + 1) % len(self.trackers)
+        return self.trackers[tid]
+
+    # repro: budget O(1)
+    def _update_free_mask(self, tracker: TaskTracker) -> None:
+        """Re-derive one tracker's free-ring bits from its slot state."""
+        bit = 1 << tracker.tracker_id
+        if tracker.alive and tracker.free_map_slots > 0:
+            self._free_masks[True] |= bit
+        else:
+            self._free_masks[True] &= ~bit
+        if tracker.alive and tracker.free_reduce_slots > 0:
+            self._free_masks[False] |= bit
+        else:
+            self._free_masks[False] &= ~bit
 
     def _launch(self, task: Task, tracker: TaskTracker) -> None:
         tracker.occupy(task)
@@ -334,6 +505,7 @@ class JobTracker:
             self._free_maps -= 1
         else:
             self._free_reduces -= 1
+        self._update_free_mask(tracker)
         task.launch_time = self.sim.now
         if self.tracer.enabled:
             # Slot-idle gap: seconds since the consumed pool's oldest
@@ -373,6 +545,7 @@ class JobTracker:
             self._free_maps += 1
         else:
             self._free_reduces += 1
+        self._update_free_mask(tracker)
         task.finish_time = now
         if self.tracer.enabled:
             self._trace_slot_free(task, now)
@@ -392,6 +565,9 @@ class JobTracker:
                 self.scheduler.on_job_completed(task.job, now)
         elif job_done:
             self._on_wjob_completed(task.job, now)
+        # The completion itself (slot freed, possibly reduces now ready or
+        # dependents unlocked) is a wake/dirty condition.
+        self._mark_scheduler_dirty()
         self.schedule_round()
 
     def _kill_attempt(self, task: Task) -> None:
@@ -407,8 +583,13 @@ class JobTracker:
                 self._free_reduces += 1
             if self.tracer.enabled:
                 self._trace_slot_free(task, self.sim.now)
+        self._update_free_mask(tracker)
         task.job.on_attempt_killed(task)
         self._notify("on_task_lost", task, self.sim.now)
+        if self._parked:
+            # A slot freed on a possibly-parked tracker: wake it if the
+            # scheduler may have something for it.
+            self._wake_parked()
 
     def _trace_slot_free(self, task: Task, now: float) -> None:
         """Record a slot returning to the pool (tracer attached only)."""
@@ -440,9 +621,12 @@ class JobTracker:
             raise ValueError(f"tracker {tracker_id} is already dead")
         now = self.sim.now
         tracker.alive = False
-        # Idle slots leave the pool.
+        # Idle slots leave the pool; a parked timer dies with the tracker
+        # (revive_tracker re-arms it).
         self._free_maps -= tracker.free_map_slots
         self._free_reduces -= tracker.free_reduce_slots
+        self._update_free_mask(tracker)
+        self._parked.pop(tracker_id, None)
         lost = list(tracker.running)
         for task in lost:
             if task.completion_handle is not None:
@@ -467,6 +651,7 @@ class JobTracker:
             rerun = jip.invalidate_map_outputs(tracker_id)
             if rerun and jip.workflow_name is not None:
                 self.workflows[jip.workflow_name].scheduled_tasks -= rerun
+        self._mark_scheduler_dirty()
         self.schedule_round()
         return lost
 
@@ -478,8 +663,11 @@ class JobTracker:
         tracker.alive = True
         self._free_maps += tracker.free_map_slots
         self._free_reduces += tracker.free_reduce_slots
+        self._update_free_mask(tracker)
         if self.config.heartbeat_interval != float("inf"):
+            self._parked.pop(tracker_id, None)
             self.sim.schedule_after(self.config.heartbeat_interval, self._heartbeat_tick, tracker)
+        self._mark_scheduler_dirty()
         self.schedule_round()
 
     def _on_wjob_completed(self, jip: JobInProgress, now: float) -> None:
@@ -492,7 +680,8 @@ class JobTracker:
         # the Oozie-lite coordinator reacts to `on_job_completed` by asking
         # which wjobs are now ready.
         wip = self.workflows[wf_name]
-        wip.completed.add(jip.name)
+        wip._mark_job_completed(jip.name)
+        self._wjob_running -= 1
         # Unlock dependents.  In WOHA mode the JobTracker holds the
         # topology (it arrived with the configuration) and pokes the
         # submitter job; in Oozie mode only the coordinator (a listener)
@@ -502,8 +691,10 @@ class JobTracker:
         for dep in sorted(wip.definition.dependents(jip.name)):
             pending = wip.pending_prereqs[dep]
             pending.discard(jip.name)
-            if not pending and wip.submitter is not None:
-                wip.submitter.unlock(dep)
+            if not pending:
+                wip._mark_ready(dep)
+                if wip.submitter is not None:
+                    wip.submitter.unlock(dep)
         self.scheduler.on_job_completed(jip, now)
         self._notify("on_job_completed", jip, now)
         if wip.done and wip.completion_time is None:

@@ -25,7 +25,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Union
 from repro.analysis.contracts import ContractChecker, ContractMonitor
 from repro.cluster.config import ClusterConfig
 from repro.cluster.jobtracker import JobTracker
-from repro.events import Simulator
+from repro.events import SimulationError, Simulator
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import deadline_miss_ratio, max_tardiness, total_tardiness
 from repro.oozie import OozieCoordinator
@@ -202,16 +202,29 @@ class ClusterSimulation:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> SimulationResult:
         """Run to completion (or ``until``) and summarise."""
         self.jobtracker.start_heartbeats()
-        # With periodic heartbeats the event queue never drains (trackers
-        # re-arm forever), so stop once all workflows have completed: run in
-        # bounded slices and check.
+        # With periodic heartbeats the event queue may never drain (without
+        # quiescent parking, trackers re-arm forever), so stop once all
+        # workflows have completed: step one event at a time and check.
         if self.config.heartbeat_interval == float("inf"):
             self.sim.run(until=until, max_events=max_events)
         else:
-            horizon = until if until is not None else float("inf")
-            while self.sim.now < horizon and not self._all_done():
-                if not self.sim.step():
+            # Peek the queue head (like Simulator.run) so an event past
+            # `until` is left unfired rather than overshooting the horizon.
+            fired = 0
+            while not self._all_done():
+                next_time = self.sim.peek_time()
+                if next_time is None:
                     break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+                self.sim.step()
+                fired += 1
+            if until is not None:
+                self.sim.advance_to(until)
         makespan = max(
             (wip.completion_time for wip in self.jobtracker.workflows.values()
              if wip.completion_time is not None),

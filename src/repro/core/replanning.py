@@ -163,6 +163,10 @@ class ReplanningWohaScheduler(WohaScheduler):
             priority=record.current_priority(),
             payload=record,
         )
+        if self.jobtracker is not None:
+            # A plan install is a quiescence wake condition: parked
+            # heartbeat timers must re-check the scheduler (DESIGN.md §10).
+            self.jobtracker.notify_plan_installed()
 
     def select_task(self, kind: TaskKind, now: float) -> Optional[Task]:
         self._advance_ct_heads(now)

@@ -8,18 +8,23 @@ code base relies on:
 * **Determinism.**  Events scheduled for the same simulated time fire in the
   order they were scheduled (FIFO tie-break via a monotonically increasing
   sequence number).  Replaying the same workload with the same seeds yields
-  byte-identical traces.
+  byte-identical traces, and :meth:`Simulator.reset` restarts the sequence
+  counter so a reset simulator replays with identical tie-break ordering.
 * **Cancellation.**  :meth:`EventHandle.cancel` lazily marks an event dead;
   the heap skips dead entries on pop.  This keeps cancellation O(1) and is
   used for e.g. retracting periodic heartbeats when a tracker is killed.
+
+Heap entries are plain ``(time, seq, handle)`` tuples: tuple comparison
+stops at ``seq`` (unique), so handles are never compared and pushes/pops
+avoid dataclass ``__lt__`` dispatch on the hot path.  A live-event counter
+maintained on schedule/cancel/fire makes :attr:`Simulator.pending_events`
+O(1) instead of a queue scan.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = ["EventHandle", "Simulator", "SimulationError"]
 
@@ -32,13 +37,6 @@ class SimulationError(RuntimeError):
     """
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    seq: int
-    handle: "EventHandle" = field(compare=False)
-
-
 class EventHandle:
     """A scheduled callback; returned by :meth:`Simulator.schedule`.
 
@@ -46,7 +44,7 @@ class EventHandle:
     cancellation) it is inert.
     """
 
-    __slots__ = ("time", "callback", "args", "_cancelled", "_fired")
+    __slots__ = ("time", "callback", "args", "_cancelled", "_fired", "_sim")
 
     def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
         self.time = time
@@ -54,6 +52,7 @@ class EventHandle:
         self.args = args
         self._cancelled = False
         self._fired = False
+        self._sim: Optional["Simulator"] = None
 
     @property
     def cancelled(self) -> bool:
@@ -71,6 +70,8 @@ class EventHandle:
         """Mark this event dead.  Returns ``True`` if it was still pending."""
         if self.pending:
             self._cancelled = True
+            if self._sim is not None:
+                self._sim._live -= 1
             return True
         return False
 
@@ -91,8 +92,9 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: List[_QueueEntry] = []
-        self._seq = itertools.count()
+        self._queue: List[Tuple[float, int, EventHandle]] = []
+        self._seq = 0
+        self._live = 0
         self._now = 0.0
         self._running = False
         self._processed = 0
@@ -109,9 +111,10 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (not cancelled) events still queued."""
-        return sum(1 for entry in self._queue if entry.handle.pending)
+        """Number of live (not cancelled) events still queued (O(1))."""
+        return self._live
 
+    # repro: budget O(log n)
     def schedule(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
         if time < self._now:
@@ -119,7 +122,11 @@ class Simulator:
                 f"cannot schedule event at t={time:.6f} before current time t={self._now:.6f}"
             )
         handle = EventHandle(time, callback, args)
-        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), handle))
+        handle._sim = self
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, handle))
+        self._live += 1
         return handle
 
     def schedule_after(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
@@ -128,15 +135,35 @@ class Simulator:
             raise SimulationError(f"negative delay {delay!r}")
         return self.schedule(self._now + delay, callback, *args)
 
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is drained.
+
+        Dead (cancelled) heap heads are pruned as a side effect, so a
+        subsequent :meth:`step` pops a live entry directly.
+        """
+        queue = self._queue
+        while queue and queue[0][2]._cancelled:
+            heapq.heappop(queue)
+        return queue[0][0] if queue else None
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time`` without firing anything.
+
+        Used by run loops that stop at a horizon between events; moving
+        backwards is a no-op (the clock is monotonic).
+        """
+        if time > self._now:
+            self._now = time
+
     def step(self) -> bool:
         """Fire the next live event.  Returns ``False`` when the queue is empty."""
         while self._queue:
-            entry = heapq.heappop(self._queue)
-            handle = entry.handle
-            if handle.cancelled:
+            time, _seq, handle = heapq.heappop(self._queue)
+            if handle._cancelled:
                 continue
-            self._now = entry.time
+            self._now = time
             handle._fired = True
+            self._live -= 1
             self._processed += 1
             handle.callback(*handle.args)
             return True
@@ -148,9 +175,10 @@ class Simulator:
         Args:
             until: stop (without firing) once the next event would be after
                 this simulated time; the clock is advanced to ``until``.
-            max_events: safety valve — raise :class:`SimulationError` if more
-                than this many events fire (guards against runaway feedback
-                loops in scheduler bugs).
+            max_events: safety valve — raise :class:`SimulationError` as soon
+                as a live event would exceed this many firings (guards
+                against runaway feedback loops in scheduler bugs).  Exactly
+                ``max_events`` queued events drain without error.
 
         Returns:
             The simulated time when the run stopped.
@@ -160,19 +188,16 @@ class Simulator:
         self._running = True
         fired = 0
         try:
-            while self._queue:
-                # Peek (skipping dead entries) to honour `until`.
-                while self._queue and self._queue[0].handle.cancelled:
-                    heapq.heappop(self._queue)
-                if not self._queue:
+            while True:
+                next_time = self.peek_time()
+                if next_time is None:
                     break
-                if until is not None and self._queue[0].time > until:
-                    self._now = max(self._now, until)
+                if until is not None and next_time > until:
                     break
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
                 self.step()
                 fired += 1
-                if max_events is not None and fired > max_events:
-                    raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
         finally:
             self._running = False
         if until is not None:
@@ -180,7 +205,16 @@ class Simulator:
         return self._now
 
     def reset(self) -> None:
-        """Drop all pending events and rewind the clock to zero."""
+        """Drop all pending events and rewind the clock to zero.
+
+        The sequence counter restarts too, so a reset simulator replays the
+        same workload with byte-identical FIFO tie-break ordering.  Handles
+        still queued at reset time become cancelled.
+        """
+        for _time, _seq, handle in self._queue:
+            handle._cancelled = True
         self._queue.clear()
+        self._seq = 0
+        self._live = 0
         self._now = 0.0
         self._processed = 0

@@ -45,6 +45,15 @@ class WorkflowScheduler(abc.ABC):
         self.jobtracker: Optional["JobTracker"] = None
         self.tracer: Union[DecisionTracer, NullTracer] = NULL_TRACER
         self.contracts = NULL_CONTRACTS
+        # Conservative per-kind runnability hints for the JobTracker's
+        # quiescent-heartbeat fast path (see DESIGN.md §10).  ``False``
+        # only ever means "a select_task call returned None and no state
+        # change has been observed since" — a proven-idle answer the
+        # JobTracker may reuse without consulting the (stateful)
+        # select_task again.  ``True`` means "maybe"; false positives
+        # cost one select_task call, false negatives would change
+        # decisions and are therefore impossible by construction.
+        self._maybe_runnable = {TaskKind.MAP: True, TaskKind.REDUCE: True}
 
     def bind(self, jobtracker: "JobTracker") -> None:
         """Called once by the JobTracker before any other callback."""
@@ -63,6 +72,32 @@ class WorkflowScheduler(abc.ABC):
         contract checking is strictly observational.
         """
         self.contracts = checker
+
+    # -- runnability hints (quiescent-heartbeat fast path) -----------------
+
+    # repro: budget O(1)
+    def has_runnable(self, kind: TaskKind) -> bool:
+        """Cheap hint: may :meth:`select_task` return a task of ``kind``?
+
+        ``False`` is authoritative (a prior ``select_task`` proved idle and
+        nothing changed since); ``True`` merely permits asking.  The
+        JobTracker maintains the flag via :meth:`note_idle` /
+        :meth:`note_state_change`; schedulers never flip it themselves.
+        """
+        return self._maybe_runnable[kind]
+
+    # repro: budget O(1)
+    def note_idle(self, kind: TaskKind) -> None:
+        """Record that ``select_task(kind, ...)`` just returned ``None``."""
+        self._maybe_runnable[kind] = False
+
+    # repro: budget O(1)
+    def note_state_change(self) -> None:
+        """Invalidate idle hints: cluster state changed in a way that could
+        make ``select_task`` answer differently (submission, completion,
+        plan install, tracker death/revival)."""
+        self._maybe_runnable[TaskKind.MAP] = True
+        self._maybe_runnable[TaskKind.REDUCE] = True
 
     # -- lifecycle notifications (default: ignore) -----------------------
 

@@ -6,6 +6,7 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.simulation import ClusterSimulation
 from repro.cluster.tasks import TaskKind
 from repro.core.client import make_planner
+from repro.events import SimulationError
 from repro.core.scheduler import WohaScheduler
 from repro.schedulers.fair import FairScheduler
 from repro.schedulers.fifo import FifoScheduler
@@ -155,3 +156,58 @@ class TestMultiWorkflow:
         assert result.miss_ratio == 0.5
         assert result.max_tardiness > 0
         assert result.total_tardiness == result.stats["late"].tardiness
+
+
+class TestFiniteHeartbeatRunLoop:
+    """Regressions for the periodic-heartbeat branch of ClusterSimulation.run."""
+
+    def _sim(self, **config_kwargs):
+        config = ClusterConfig(num_nodes=2, heartbeat_interval=3.0, **config_kwargs)
+        sim = ClusterSimulation(config, FifoScheduler(), submission="oozie")
+        wf = WorkflowBuilder("w").job("a", maps=2, reduces=1, map_s=10, reduce_s=10).build()
+        sim.add_workflow(wf)
+        return sim
+
+    def test_run_until_does_not_overshoot_horizon(self):
+        # The old loop checked `now < horizon` before stepping, so one step
+        # could fire an event past `until` (here the completions at t=10).
+        sim = self._sim()
+        result = sim.run(until=7.5)
+        assert sim.sim.now == 7.5
+        assert result.stats["w"].completion_time == float("inf")
+
+    def test_run_until_fires_events_at_the_horizon(self):
+        # Same boundary rule as Simulator.run: events at exactly `until`
+        # fire; only strictly later ones wait.
+        sim = self._sim()
+        sim.run(until=10.0)
+        assert sim.sim.now == 10.0
+        assert sim.jobtracker.workflows["w"].jobs["a"].maps_finished == 2
+
+    def test_max_events_honoured_with_periodic_heartbeats(self):
+        # The finite-heartbeat branch used to ignore max_events entirely.
+        sim = self._sim(quiescent_heartbeats=False)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=5)
+
+    def test_quiescent_run_terminates_with_incomplete_workflows(self):
+        # A workflow that can never finish (its only job is never submitted)
+        # must not hang the run loop: parked timers let the queue drain.
+        config = ClusterConfig(num_nodes=2, heartbeat_interval=3.0)
+        sim = ClusterSimulation(config, FifoScheduler(), submission="oozie")
+        wf = (
+            WorkflowBuilder("w")
+            .job("a", maps=1, reduces=0, map_s=5)
+            .job("b", maps=1, reduces=0, map_s=5, after=["a"])
+            .build()
+        )
+        sim.add_workflow(wf)
+        # Sabotage: the coordinator never hears about completions, so 'b'
+        # is never submitted and the workflow can never finish.
+        sim.jobtracker._hook_listeners["on_job_completed"] = [
+            fn
+            for fn in sim.jobtracker._hook_listeners["on_job_completed"]
+            if getattr(fn, "__self__", None) is not sim.oozie
+        ]
+        result = sim.run()
+        assert result.stats["w"].completion_time == float("inf")

@@ -1,0 +1,64 @@
+"""Guard for the simulation-throughput trajectory file.
+
+``benchmarks/bench_sim_throughput.py`` is ``perf``-marked and excluded
+from the tier-1 suite, so nothing else would notice if a refactor broke
+its JSON emission until the next time someone compared trajectories.  This
+tier-1 test runs the bench machinery on a toy corpus (one repeat, tiny
+cluster) and pins the payload shape and JSON round-trip.
+"""
+
+import json
+
+from benchmarks.bench_sim_throughput import (
+    HEARTBEAT_INTERVAL,
+    METRIC_KEYS,
+    SCENARIO_KEYS,
+    periodic_workflows,
+    run_bench,
+    write_json,
+)
+from repro.workflow.builder import WorkflowBuilder
+
+
+def _tiny_trace():
+    return [
+        WorkflowBuilder("t1")
+        .job("a", maps=4, reduces=2, map_s=10.0, reduce_s=15.0)
+        .deadline(relative=200.0)
+        .build(),
+        WorkflowBuilder("t2")
+        .submit_at(5.0)
+        .job("a", maps=3, reduces=0, map_s=8.0)
+        .job("b", maps=2, reduces=1, map_s=6.0, reduce_s=9.0, after=["a"])
+        .deadline(relative=150.0)
+        .build(),
+    ]
+
+
+def test_bench_emits_valid_json_with_expected_keys(tmp_path):
+    payload = run_bench(
+        trace=_tiny_trace(),
+        periodic=periodic_workflows(count=2, task_s=30.0),
+        trace_slots=4,
+        trace_nodes=2,
+        periodic_nodes=3,
+        repeats=1,
+    )
+
+    out = tmp_path / "BENCH_sim_throughput.json"
+    write_json(payload, str(out))
+    parsed = json.loads(out.read_text())
+    assert parsed == payload  # everything in the payload is JSON-serialisable
+
+    assert parsed["bench"] == "sim_throughput"
+    assert parsed["heartbeat_interval"] == HEARTBEAT_INTERVAL
+    assert parsed["cluster"] == {"trace_nodes": 2, "periodic_nodes": 3}
+    assert parsed["corpus"] == {"trace_workflows": 2, "periodic_workflows": 2}
+    assert set(parsed["scenarios"]) == set(SCENARIO_KEYS)
+    for scenario in parsed["scenarios"].values():
+        assert set(scenario) == set(METRIC_KEYS)
+        for key in METRIC_KEYS:
+            assert isinstance(scenario[key], (int, float))
+            assert scenario[key] > 0
+        # Parking only ever removes events; it can never add any.
+        assert scenario["fast_events"] <= scenario["reference_events"]

@@ -158,3 +158,70 @@ class TestRun:
         sim.schedule(1.0, lambda: sim.schedule(2.0, fired.append, "late"))
         sim.run()
         assert fired == ["late"]
+
+
+class TestMaxEventsExactness:
+    def test_exactly_max_events_drains_without_error(self):
+        sim = Simulator()
+        for t in range(10):
+            sim.schedule(float(t), lambda: None)
+        sim.run(max_events=10)
+        assert sim.processed_events == 10
+
+    def test_guard_fires_before_the_excess_event(self):
+        # Regression: the guard used to raise only after max_events + 1
+        # events had already fired.
+        sim = Simulator()
+        for t in range(10):
+            sim.schedule(float(t), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=9)
+        assert sim.processed_events == 9
+
+
+class TestPeekAndAdvance:
+    def test_peek_time_skips_cancelled_heads(self):
+        sim = Simulator()
+        doomed = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        doomed.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_peek_time_empty_queue(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+
+    def test_advance_to_is_monotonic(self):
+        sim = Simulator()
+        sim.advance_to(5.0)
+        assert sim.now == 5.0
+        sim.advance_to(3.0)  # moving backwards is a no-op
+        assert sim.now == 5.0
+
+
+class TestResetReplay:
+    def test_reset_restarts_sequence_numbers(self):
+        # Same-time events scheduled after a reset must tie-break exactly
+        # like a fresh simulator: the sequence counter restarts.
+        def replay(sim):
+            fired = []
+            for tag in "abc":
+                sim.schedule(1.0, fired.append, tag)
+            sim.schedule(0.5, fired.append, "first")
+            sim.run()
+            return fired, sim._seq
+
+        sim = Simulator()
+        first_run = replay(sim)
+        sim.reset()
+        assert replay(sim) == first_run
+
+    def test_reset_cancels_leftover_handles(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.reset()
+        assert handle.cancelled and not handle.pending
+        # A stale cancel after reset must not corrupt the live counter.
+        sim.schedule(1.0, lambda: None)
+        assert not handle.cancel()
+        assert sim.pending_events == 1
