@@ -91,10 +91,16 @@ HOT_PATH_REGISTRY: Dict[str, Tuple[str, ...]] = {
     ),
     "repro/cluster/jobtracker.py": (
         "JobTracker.heartbeat",
+        "JobTracker._heartbeat_batched",
+        "JobTracker._round_batched",
         "JobTracker._pick_tracker",
         "JobTracker._notify",
         "JobTracker._wake_parked",
     ),
+    "repro/schedulers/base.py": ("WorkflowScheduler.select_tasks",),
+    "repro/schedulers/fifo.py": ("FifoScheduler.select_tasks",),
+    "repro/schedulers/fair.py": ("FairScheduler.select_tasks",),
+    "repro/metrics/collector.py": ("MetricsCollector.merge",),
 }
 
 #: Intraprocedural rules whose hits double as taint seeds.

@@ -13,6 +13,10 @@ Commands:
 * ``trace-decisions`` — run a scenario with decision tracing on and dump
   the scheduler's decision log as JSONL (optionally explaining one
   workflow's deadline miss from it).
+* ``sweep`` — run a sharded experiment grid
+  (:mod:`repro.experiments.runner`): scenarios x schedulers x seeds,
+  optionally fanned over worker processes, with per-cell and merged
+  metrics printed and the deterministic grid payload written as JSON.
 * ``lint`` — run the determinism lint (:mod:`repro.analysis`) over source
   trees; exits 1 on violations or a stale baseline, 2 on usage errors.
   ``--interproc`` adds the whole-program taint/budget pass (DT201-DT204);
@@ -39,6 +43,8 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.simulation import ClusterSimulation
 from repro.core.client import make_planner
 from repro.core.scheduler import NaiveWohaScheduler, WohaScheduler
+from repro.experiments.runner import ExperimentCell, run_grid
+from repro.experiments.scenarios import SCENARIOS as SWEEP_SCENARIOS
 from repro.metrics.postmortem import explain_miss
 from repro.metrics.report import format_table
 from repro.schedulers.edf import EdfScheduler
@@ -163,6 +169,25 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--task-scale", type=float, default=0.8)
     trace.add_argument("--drop-single-job", action="store_true",
                        help="remove single-job workflows, as the paper's Fig 8-10 do")
+
+    sweep = sub.add_parser("sweep", help="run a sharded experiment grid")
+    sweep.add_argument("--scenario", action="append", choices=sorted(SWEEP_SCENARIOS),
+                       help="scenario(s) to include; repeatable (default: all)")
+    sweep.add_argument("--scheduler", dest="schedulers", action="append",
+                       choices=SCHEDULERS,
+                       help="scheduler(s) to include; repeatable "
+                            "(default: fifo and woha-lpf)")
+    sweep.add_argument("--seeds", type=int, default=1,
+                       help="replications per (scenario, scheduler): grid seeds 0..N-1")
+    sweep.add_argument("--nodes", type=int, default=8, help="TaskTrackers per cell")
+    sweep.add_argument("--scale", type=float, default=0.25,
+                       help="workload scale factor (1.0 = the bench-tier size)")
+    sweep.add_argument("--workers", type=int, default=0,
+                       help="worker processes; 0 = run inline (default)")
+    sweep.add_argument("--batched", action="store_true",
+                       help="enable the batched-assignment fast path")
+    sweep.add_argument("--json", dest="json_out",
+                       help="write the deterministic grid payload to this path")
 
     return parser
 
@@ -353,6 +378,53 @@ def _cmd_trace_decisions(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.seeds <= 0:
+        print(f"--seeds must be positive, got {args.seeds}", file=sys.stderr)
+        return 2
+    if args.workers < 0:
+        print(f"--workers must be >= 0, got {args.workers}", file=sys.stderr)
+        return 2
+    scenarios = args.scenario or sorted(SWEEP_SCENARIOS)
+    schedulers = args.schedulers or ["fifo", "woha-lpf"]
+    cells = [
+        ExperimentCell(scenario, scheduler, seed=seed, nodes=args.nodes, scale=args.scale)
+        for scenario in scenarios
+        for scheduler in schedulers
+        for seed in range(args.seeds)
+    ]
+    grid = run_grid(cells, workers=args.workers, batched_assignment=args.batched)
+    rows = [
+        [
+            cell.key,
+            len(cell.stats),
+            cell.metrics.tasks_launched,
+            cell.makespan,
+            f"{cell.metrics.utilization():.2f}",
+        ]
+        for cell in grid.cells
+    ]
+    print(format_table(
+        ["cell", "workflows", "launched", "makespan", "util"],
+        rows,
+        title=f"{len(grid.cells)}-cell sweep "
+              f"({'inline' if args.workers == 0 else f'{args.workers} workers'})",
+        float_fmt="{:.1f}",
+    ))
+    merged = grid.merged
+    print(
+        f"\nmerged: {merged.tasks_launched} launched | {merged.tasks_completed} completed | "
+        f"{merged.tasks_lost} lost | window {merged.window:.1f}s | "
+        f"utilization {merged.utilization():.2f}"
+    )
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(grid.to_payload(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote grid payload to {args.json_out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "plan":
@@ -367,6 +439,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_lint(args)
     if args.command == "callgraph":
         return _cmd_callgraph(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -33,6 +33,15 @@ class ClusterConfig:
             ``eager_heartbeats`` (where every parked tick is provably a
             no-op); decisions and traces are byte-identical either way
             (DESIGN.md §10).  On by default.
+        batched_assignment: simulator fast path for busy clusters — fill
+            all free slots of a kind in one
+            :meth:`~repro.schedulers.base.WorkflowScheduler.select_tasks`
+            round per tracker tick / scheduling round instead of one
+            queue walk per launch.  Schedulers whose batched walk is
+            provably decision-identical override ``select_tasks``; the
+            base-class default replays the one-launch-per-call loop, so
+            decisions and traces are byte-identical either way
+            (DESIGN.md §11).  Off by default (the reference path).
         submit_task_duration: seconds one WOHA submitter map task occupies a
             map slot to load jars and initialise a wjob (§III-A).
         oozie_poll_interval: seconds between Oozie-lite readiness polls for
@@ -46,6 +55,7 @@ class ClusterConfig:
     heartbeat_interval: float = 3.0
     eager_heartbeats: bool = True
     quiescent_heartbeats: bool = True
+    batched_assignment: bool = False
     submit_task_duration: float = 1.0
     oozie_poll_interval: float = 0.0
 

@@ -20,7 +20,7 @@ import numpy as np
 from repro.cluster.jobtracker import JobTracker
 from repro.events import Simulator
 
-__all__ = ["Outage", "FailureInjector"]
+__all__ = ["Outage", "FailureSchedule", "FailureInjector"]
 
 
 @dataclass(frozen=True)
@@ -30,6 +30,46 @@ class Outage:
     time: float
     tracker_id: int
     down_for: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """An explicit, validated outage script.
+
+    The audited contract (DESIGN.md §10): every kill and revive this
+    schedule triggers lands in
+    :meth:`~repro.cluster.jobtracker.JobTracker.kill_tracker` /
+    :meth:`~repro.cluster.jobtracker.JobTracker.revive_tracker`, both of
+    which end in ``_mark_scheduler_dirty`` — the scheduler's
+    ``note_state_change`` plus a wake of every quiescent-parked heartbeat
+    timer whose tracker could now be served.  Traces are therefore
+    byte-identical with parking on or off under any schedule
+    (``tests/cluster/test_failures.py::TestFailureSchedule``).
+    """
+
+    outages: Tuple[Outage, ...]
+
+    def __post_init__(self) -> None:
+        for outage in self.outages:
+            if outage.time < 0:
+                raise ValueError(f"outage time {outage.time} is negative")
+            if outage.down_for is not None and outage.down_for <= 0:
+                raise ValueError(f"outage downtime {outage.down_for} must be positive")
+
+    def validate(self, num_trackers: int) -> None:
+        """Check every outage names a tracker the cluster actually has."""
+        for outage in self.outages:
+            if not (0 <= outage.tracker_id < num_trackers):
+                raise ValueError(
+                    f"outage names tracker {outage.tracker_id}; cluster has {num_trackers}"
+                )
+
+    def apply(self, sim: Simulator, jobtracker: JobTracker) -> "FailureInjector":
+        """Validate against ``jobtracker`` and schedule every outage."""
+        self.validate(len(jobtracker.trackers))
+        injector = FailureInjector(sim, jobtracker)
+        injector.schedule(self.outages)
+        return injector
 
 
 class FailureInjector:

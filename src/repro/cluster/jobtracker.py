@@ -358,7 +358,10 @@ class JobTracker:
         if not tracker.alive:
             # The chain dies with the tracker; revive_tracker re-arms it.
             return
-        launched = self.heartbeat(tracker)
+        if self.config.batched_assignment:
+            launched = self._heartbeat_batched(tracker)
+        else:
+            launched = self.heartbeat(tracker)
         tid = tracker.tracker_id
         self._hb_anchor[tid] = self.sim.now
         if self._hb_quiescent and not launched and self._tracker_quiescent(tracker):
@@ -397,6 +400,29 @@ class JobTracker:
                     break
                 self._launch(task, tracker)
                 launched.append(task)
+        return launched
+
+    # repro: budget O(n)
+    def _heartbeat_batched(self, tracker: TaskTracker) -> List[Task]:
+        """Batched form of :meth:`heartbeat`: one ``select_tasks`` round per
+        kind fills every free slot of this tracker
+        (``ClusterConfig.batched_assignment``, DESIGN.md §11).  Decisions
+        and traces are byte-identical to the one-launch-per-call loop —
+        within a tick nothing but our own launches changes scheduler state.
+        """
+        launched: List[Task] = []
+        scheduler = self.scheduler
+
+        def _launch_here(task: Task) -> None:
+            self._launch(task, tracker)
+            launched.append(task)
+
+        for kind in (TaskKind.MAP, TaskKind.REDUCE):
+            free = tracker.free_slots(kind)
+            if free <= 0 or not scheduler.has_runnable(kind):
+                continue
+            if scheduler.select_tasks(kind, self.sim.now, free, _launch_here) < free:
+                scheduler.note_idle(kind)
         return launched
 
     @hot_path
@@ -446,6 +472,12 @@ class JobTracker:
             return
         self._in_round = True
         try:
+            if self.config.batched_assignment and self.speculator is None:
+                # Speculative backups piggyback on proven-idle answers the
+                # unbatched loop surfaces per call; with a speculator
+                # attached the reference loop below stays authoritative.
+                self._round_batched()
+                return
             for kind in (TaskKind.MAP, TaskKind.REDUCE):
                 while self.free_slots(kind) > 0:
                     task = self.scheduler.select_task(kind, self.sim.now)
@@ -465,7 +497,28 @@ class JobTracker:
         finally:
             self._in_round = False
 
-    @hot_path
+    # repro: budget O(n)
+    def _round_batched(self) -> None:
+        """Batched form of :meth:`schedule_round`: one ``select_tasks``
+        round per kind fills every free slot cluster-wide, each launch
+        landing on the round-robin tracker the unbatched sweep would have
+        picked (DESIGN.md §11).  Unlike the heartbeat path this must *not*
+        gate on ``has_runnable`` — the reference sweep always asks the
+        scheduler once per kind, and that fruitless ask emits an idle
+        decision event the batched trace must reproduce.
+        """
+        scheduler = self.scheduler
+        for kind in (TaskKind.MAP, TaskKind.REDUCE):
+            free = self.free_slots(kind)
+            if free <= 0:
+                continue
+
+            def _launch_rr(task: Task, _kind: TaskKind = kind) -> None:
+                self._launch(task, self._pick_tracker(_kind))
+
+            if scheduler.select_tasks(kind, self.sim.now, free, _launch_rr) < free:
+                scheduler.note_idle(kind)
+        return
     # repro: budget O(log n)
     def _pick_tracker(self, kind: TaskKind) -> TaskTracker:
         """Round-robin over trackers with a free slot of ``kind``.

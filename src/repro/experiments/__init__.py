@@ -1,0 +1,25 @@
+"""Sharded experiment grids (DESIGN.md §11).
+
+:mod:`repro.experiments.runner` fans a (scenario x scheduler x seed) grid
+across worker processes and merges the per-cell metrics back into one
+deterministic payload; :mod:`repro.experiments.scenarios` is the picklable
+scenario registry the workers draw workloads from.
+"""
+
+from repro.experiments.runner import (
+    CellResult,
+    ExperimentCell,
+    GridResult,
+    run_grid,
+    shard_seed,
+)
+from repro.experiments.scenarios import SCENARIOS
+
+__all__ = [
+    "CellResult",
+    "ExperimentCell",
+    "GridResult",
+    "SCENARIOS",
+    "run_grid",
+    "shard_seed",
+]

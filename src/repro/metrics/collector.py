@@ -11,6 +11,14 @@ launch/completion.  From the raw event log it derives:
 * **per-scheduler decision counters** aggregated from a
   :class:`~repro.trace.DecisionTracer` (decisions, idle calls, ct
   advances, slot frees, assignment-wait totals).
+
+Collectors from independent runs (the shards of a
+:mod:`repro.experiments` sweep) combine via :meth:`MetricsCollector.merge`.
+Merging is order-deterministic and purely additive, with one wrinkle:
+each constituent run's busy seconds are weighed against *its own*
+``slots x window`` capacity, so shards with disjoint — or identically
+overlapping — simulated time ranges neither stretch nor double-count the
+merged utilization window (see :meth:`MetricsCollector.merge`).
 """
 
 from __future__ import annotations
@@ -56,6 +64,15 @@ class MetricsCollector:
         # aggregate_counters; accumulates across tracers/runs so sweeps can
         # pool several traced simulations into one table.
         self.scheduler_counters: Dict[str, Dict[str, Union[int, float]]] = {}
+        # Merge accounting: once another collector has been folded in, the
+        # window/utilization denominators come from these per-shard sums
+        # instead of (last_event - first_event) x self.config — a single
+        # global span would count each shard's warm-up against every other
+        # shard's capacity.  Zero/False until the first merge.
+        self._merged = False
+        self._window_sum = 0.0
+        self._map_capacity_s = 0.0
+        self._reduce_capacity_s = 0.0
 
     # -- JobTracker listener hooks -----------------------------------------
 
@@ -109,11 +126,84 @@ class MetricsCollector:
                 bucket[name] = bucket.get(name, 0) + value
         return self.scheduler_counters
 
+    # -- shard merging --------------------------------------------------------
+
+    def _seal(self) -> None:
+        """Freeze this collector's own window into the merge accumulators."""
+        if self._merged:
+            return
+        span = self.window
+        self._window_sum = span
+        self._map_capacity_s = self.config.total_map_slots * span
+        self._reduce_capacity_s = self.config.total_reduce_slots * span
+        self._merged = True
+
+    # repro: budget O(n)
+    def merge(self, other: "MetricsCollector") -> "MetricsCollector":
+        """Fold another run's collector into this one (in place).
+
+        This is the reduction step of the sharded experiment runner
+        (:mod:`repro.experiments.runner`): each worker returns its cell's
+        collector and the parent merges them in deterministic cell order,
+        so a sharded sweep's merged metrics are byte-identical to a
+        sequential run of the same grid.
+
+        Counters, busy seconds and the raw event lists add; ``first_event``
+        / ``last_event`` take the min/max.  :attr:`window` becomes the
+        *sum* of the constituents' windows and :meth:`utilization` weighs
+        each constituent's busy seconds against its own ``slots x window``
+        capacity — shards are independent simulations (each starting at its
+        own t=0), so a single ``max(last) - min(first)`` span would
+        double-count overlapping shard warm-ups and dilute disjoint ones.
+
+        Per-workflow derived series (:meth:`allocation_series`,
+        :meth:`progress_curve`) remain meaningful only when workflow names
+        are unique across the merged runs; aggregate counters and
+        utilization are always well-defined.  ``other`` is not modified.
+        """
+        self._seal()
+        self._deltas.extend(other._deltas)
+        self._progress_events.extend(other._progress_events)
+        self.busy_map_seconds += other.busy_map_seconds
+        self.busy_reduce_seconds += other.busy_reduce_seconds
+        self.tasks_launched += other.tasks_launched
+        self.tasks_completed += other.tasks_completed
+        self.tasks_lost += other.tasks_lost
+        if other.first_event is not None:
+            self.first_event = (
+                other.first_event if self.first_event is None
+                else min(self.first_event, other.first_event)
+            )
+        if other.last_event is not None:
+            self.last_event = (
+                other.last_event if self.last_event is None
+                else max(self.last_event, other.last_event)
+            )
+        if other._merged:
+            self._window_sum += other._window_sum
+            self._map_capacity_s += other._map_capacity_s
+            self._reduce_capacity_s += other._reduce_capacity_s
+        else:
+            span = other.window
+            self._window_sum += span
+            self._map_capacity_s += other.config.total_map_slots * span
+            self._reduce_capacity_s += other.config.total_reduce_slots * span
+        for scheduler, counters in other.scheduler_counters.items():
+            bucket = self.scheduler_counters.setdefault(scheduler, {})
+            for name, value in counters.items():
+                bucket[name] = bucket.get(name, 0) + value
+        return self
+
     # -- derived series -------------------------------------------------------
 
     @property
     def window(self) -> float:
-        """Span between the first and last recorded event."""
+        """Span between the first and last recorded event.
+
+        After a :meth:`merge` this is the sum of the constituent runs'
+        windows (each run spans its own simulated time axis)."""
+        if self._merged:
+            return self._window_sum
         if self.first_event is None or self.last_event is None:
             return 0.0
         return self.last_event - self.first_event
@@ -122,8 +212,22 @@ class MetricsCollector:
         """Busy slot-seconds divided by slot capacity over the window.
 
         With ``kind=None``, both slot pools are combined (this is the
-        cluster utilization of Fig 12).
+        cluster utilization of Fig 12).  On a merged collector the
+        capacity denominator is the sum of each constituent's own
+        ``slots x window`` product (an explicit ``window`` override still
+        wins, priced at *this* collector's config).
         """
+        if window is None and self._merged:
+            if kind is None:
+                capacity = self._map_capacity_s + self._reduce_capacity_s
+                busy = self.busy_map_seconds + self.busy_reduce_seconds
+            elif kind.uses_map_slot:
+                capacity = self._map_capacity_s
+                busy = self.busy_map_seconds
+            else:
+                capacity = self._reduce_capacity_s
+                busy = self.busy_reduce_seconds
+            return busy / capacity if capacity > 0 else 0.0
         span = self.window if window is None else window
         if span <= 0:
             return 0.0

@@ -10,7 +10,7 @@ simulation.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 from repro.analysis.contracts import NULL_CONTRACTS
 from repro.cluster.tasks import Task, TaskKind
@@ -127,3 +127,36 @@ class WorkflowScheduler(abc.ABC):
         asking until the next scheduling event.  Implementations must be
         work-conserving unless they explicitly document otherwise.
         """
+
+    # repro: budget O(n)
+    def select_tasks(
+        self, kind: TaskKind, now: float, limit: int, launch: Callable[[Task], None]
+    ) -> int:
+        """Batched assignment: fill up to ``limit`` slots of ``kind`` in
+        one round (``ClusterConfig.batched_assignment``, DESIGN.md §11).
+
+        ``launch`` must be invoked once per selected task, *after* that
+        task's decision event is recorded — it launches the task on the
+        JobTracker, emitting the matching ``assign`` event, so the trace
+        interleaving (decision, assign, decision, assign, ...) is the same
+        as the unbatched path's.  Returns the number of tasks launched; a
+        return value below ``limit`` is a proven-idle answer (the caller
+        records it via :meth:`note_idle`) and must be accompanied by the
+        same trailing idle ``decision`` event the unbatched path emits.
+
+        This default replays the one-launch-per-call loop and is therefore
+        byte-identical to the unbatched path for every scheduler.
+        Schedulers whose selection is incremental over a stable queue
+        (FIFO's walk, Fair's deficit argmin) override it with a
+        single-walk batch that amortises the per-launch queue scans; every
+        override must preserve the decision stream exactly
+        (tests/integration/test_batched_equivalence.py).
+        """
+        launched = 0
+        while launched < limit:
+            task = self.select_task(kind, now)
+            if task is None:
+                return launched
+            launch(task)  # repro: calls[repro.cluster.jobtracker.JobTracker._launch]
+            launched += 1
+        return launched

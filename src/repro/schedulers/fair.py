@@ -9,7 +9,9 @@ an even split while never idling a slot a job could use.
 
 from __future__ import annotations
 
-from typing import List, Optional
+import heapq
+from bisect import insort
+from typing import Callable, List, Optional, Tuple
 
 from repro.cluster.job import JobInProgress
 from repro.cluster.tasks import Task, TaskKind
@@ -86,3 +88,84 @@ class FairScheduler(WorkflowScheduler):
                 ct_advances=0,
             )
         return task
+
+    # repro: budget O(n)
+    def select_tasks(
+        self, kind: TaskKind, now: float, limit: int, launch: Callable[[Task], None]
+    ) -> int:
+        """One scan plus a heap fills up to ``limit`` slots (DESIGN.md §11).
+
+        Byte-identical to repeated :meth:`select_task` calls: between
+        launches of one round only the launched job's occupancy changes,
+        so the argmin sequence over ``(occupancy, submit_time, job_id)``
+        is exactly what popping a heap — re-pushing the launched job with
+        its new occupancy — produces.  Keys are unique (job ids are), so
+        heap order equals the linear scan's strict-``<`` first-wins order.
+        The ``skipped`` list of every decision is the position-ordered set
+        of non-runnable, non-completed jobs at that instant, matching the
+        full scan each unbatched call would make; the trailing idle
+        decision fires only when the heap empties before ``limit``.
+        """
+        tracing = self.tracer.enabled
+        use_map = kind.uses_map_slot
+        queue_len = len(self._jobs)
+        heap: List[Tuple[int, float, str, int, JobInProgress]] = []
+        # (position, job_id), kept sorted by position — the scan order the
+        # unbatched path's skipped lists follow.
+        nonrunnable: List[Tuple[int, str]] = []
+        for position, jip in enumerate(self._jobs):
+            if jip.completed:
+                continue
+            if not jip.has_runnable(kind):
+                nonrunnable.append((position, jip.job_id))
+                continue
+            occupancy = jip.running_maps if use_map else jip.running_reduces
+            heap.append((occupancy, jip.submit_time, jip.job_id, position, jip))
+        heapq.heapify(heap)
+        launched = 0
+        while launched < limit and heap:
+            occupancy, submit_time, job_id, position, jip = heapq.heappop(heap)
+            task = jip.obtain_map() if use_map else jip.obtain_reduce()
+            if tracing:
+                self.tracer.incr(self.name, "decisions")
+                self.tracer.record(
+                    "decision",
+                    now,
+                    scheduler=self.name,
+                    slot_kind=kind.value,
+                    workflow=jip.workflow_name,
+                    task=None if task is None else task.task_id,
+                    lag=None,
+                    queue_len=queue_len,
+                    position=position,
+                    skipped=[jid for _, jid in nonrunnable],
+                    ct_advances=0,
+                )
+            if task is None:
+                # has_runnable lied (defensive; mirrors select_task's
+                # task=None decision, after which the caller goes idle
+                # without a second, trailing idle decision).
+                return launched
+            launch(task)  # repro: calls[repro.cluster.jobtracker.JobTracker._launch]
+            launched += 1
+            if jip.has_runnable(kind):
+                occupancy = jip.running_maps if use_map else jip.running_reduces
+                heapq.heappush(heap, (occupancy, submit_time, job_id, position, jip))
+            else:
+                insort(nonrunnable, (position, job_id))
+        if launched < limit and tracing:
+            self.tracer.incr(self.name, "idle_decisions")
+            self.tracer.record(
+                "decision",
+                now,
+                scheduler=self.name,
+                slot_kind=kind.value,
+                workflow=None,
+                task=None,
+                lag=None,
+                queue_len=queue_len,
+                position=None,
+                skipped=[jid for _, jid in nonrunnable],
+                ct_advances=0,
+            )
+        return launched

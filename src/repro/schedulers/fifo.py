@@ -8,7 +8,7 @@ separation the paper criticises.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.cluster.job import JobInProgress
 from repro.cluster.tasks import Task, TaskKind
@@ -80,3 +80,72 @@ class FifoScheduler(WorkflowScheduler):
                 ct_advances=0,
             )
         return None
+
+    # repro: budget O(n)
+    def select_tasks(
+        self, kind: TaskKind, now: float, limit: int, launch: Callable[[Task], None]
+    ) -> int:
+        """One queue walk fills up to ``limit`` slots (DESIGN.md §11).
+
+        Byte-identical to repeated :meth:`select_task` calls: between
+        launches of one round no job completes and no job earlier in the
+        queue can become runnable, so every re-walk the unbatched path
+        makes would re-skip exactly the prefix this walk has already
+        proven non-runnable.  Decision events are emitted with the same
+        ``position``/``queue_len``/``skipped`` fields the re-walks would
+        record (snapshot copies, since the walk keeps appending), and the
+        trailing idle decision fires only when the walk exhausts the queue
+        with slots left over — the case where the unbatched path would
+        have made one final, fruitless full walk.
+        """
+        tracing = self.tracer.enabled
+        skipped: List[str] = []
+        launched = 0
+        queue_len = len(self._queue)
+        use_map = kind.uses_map_slot
+        for position, jip in enumerate(self._queue):
+            if jip.completed:
+                continue
+            while launched < limit:
+                task = jip.obtain_map() if use_map else jip.obtain_reduce()
+                if task is None:
+                    break
+                if tracing:
+                    self.tracer.incr(self.name, "decisions")
+                    self.tracer.record(
+                        "decision",
+                        now,
+                        scheduler=self.name,
+                        slot_kind=kind.value,
+                        workflow=jip.workflow_name,
+                        task=task.task_id,
+                        lag=None,
+                        queue_len=queue_len,
+                        position=position,
+                        skipped=list(skipped),
+                        ct_advances=0,
+                    )
+                launch(task)  # repro: calls[repro.cluster.jobtracker.JobTracker._launch]
+                launched += 1
+            if launched >= limit:
+                return launched
+            if tracing:
+                # FIFO queues jobs, not workflows; skipped entries are job
+                # ids (including jobs this very walk just drained).
+                skipped.append(jip.job_id)
+        if tracing:
+            self.tracer.incr(self.name, "idle_decisions")
+            self.tracer.record(
+                "decision",
+                now,
+                scheduler=self.name,
+                slot_kind=kind.value,
+                workflow=None,
+                task=None,
+                lag=None,
+                queue_len=queue_len,
+                position=None,
+                skipped=skipped,
+                ct_advances=0,
+            )
+        return launched

@@ -1,0 +1,125 @@
+"""Batched-assignment equivalence: the fast path changes no decision.
+
+``ClusterConfig.batched_assignment`` (DESIGN.md §11) fills every free slot
+of a kind in one ``select_tasks`` round per tracker tick / scheduling round
+instead of re-walking the scheduler queue once per launch.  These tests pin
+the correctness bar from ISSUE 6: with batching on vs. off, DecisionTracer
+logs must be byte-identical and every WorkflowStats equal, across seeds,
+both submission modes, all four schedulers, and finite vs. infinite
+heartbeat intervals — including under random outage interleavings
+(hypothesis) and on workloads dense enough that a single round genuinely
+fills many slots at once.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.failures import FailureInjector, Outage
+from repro.cluster.simulation import ClusterSimulation
+from repro.core.client import make_planner
+from repro.core.scheduler import WohaScheduler
+from repro.schedulers.edf import EdfScheduler
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.workflow.builder import WorkflowBuilder
+
+SCHEDULERS = {
+    "fifo": FifoScheduler,
+    "fair": FairScheduler,
+    "edf": EdfScheduler,
+    "woha": WohaScheduler,
+}
+
+
+def build_workload(seed: int, n_workflows: int = 3, dense: bool = False):
+    """A small seeded workload; ``dense`` packs far more tasks than slots so
+    one scheduling round must launch many tasks back to back."""
+    rng = random.Random(seed)
+    workflows = []
+    for w in range(n_workflows):
+        builder = WorkflowBuilder(f"wf{seed}_{w}").submit_at(round(rng.uniform(0.0, 30.0), 1))
+        names = []
+        for j in range(rng.randint(2, 4)):
+            after = [name for name in names if rng.random() < 0.5][:2]
+            builder.job(
+                f"j{j}",
+                maps=rng.randint(8, 20) if dense else rng.randint(1, 4),
+                reduces=rng.randint(2, 6) if dense else rng.randint(0, 2),
+                map_s=rng.choice([5.0, 10.0, 30.0]),
+                reduce_s=rng.choice([5.0, 15.0]),
+                after=after,
+            )
+            names.append(f"j{j}")
+        builder.deadline(relative=rng.choice([120.0, 600.0]))
+        workflows.append(builder.build())
+    return workflows
+
+
+def run_once(seed, mode, sched_name, batched, heartbeat_interval=3.0, dense=False, outages=()):
+    config = ClusterConfig(
+        num_nodes=4,
+        map_slots_per_node=2,
+        reduce_slots_per_node=1,
+        heartbeat_interval=heartbeat_interval,
+        batched_assignment=batched,
+    )
+    planner = make_planner("lpf") if mode == "woha" else None
+    sim = ClusterSimulation(
+        config, SCHEDULERS[sched_name](), submission=mode, planner=planner, trace=True
+    )
+    sim.add_workflows(build_workload(seed, dense=dense))
+    if outages:
+        FailureInjector(sim.sim, sim.jobtracker).schedule(outages)
+    return sim.run()
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("mode", ["oozie", "woha"])
+@pytest.mark.parametrize("sched_name", sorted(SCHEDULERS))
+@pytest.mark.parametrize("heartbeat_interval", [3.0, float("inf")])
+def test_batched_assignment_changes_nothing(seed, mode, sched_name, heartbeat_interval):
+    batched = run_once(seed, mode, sched_name, True, heartbeat_interval)
+    reference = run_once(seed, mode, sched_name, False, heartbeat_interval)
+    assert batched.tracer.dumps_jsonl() == reference.tracer.dumps_jsonl()
+    assert batched.stats == reference.stats
+    assert batched.makespan == reference.makespan
+    # Batching reorders no events and removes none: same stream, fewer walks.
+    assert batched.events_processed == reference.events_processed
+
+
+@pytest.mark.parametrize("mode", ["oozie", "woha"])
+@pytest.mark.parametrize("sched_name", sorted(SCHEDULERS))
+def test_batched_assignment_dense_rounds(mode, sched_name):
+    """Slot-starved workloads: one round fills all 8 map slots at once."""
+    batched = run_once(3, mode, sched_name, True, dense=True)
+    reference = run_once(3, mode, sched_name, False, dense=True)
+    assert batched.tracer.dumps_jsonl() == reference.tracer.dumps_jsonl()
+    assert batched.stats == reference.stats
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 50),
+    sched_name=st.sampled_from(sorted(SCHEDULERS)),
+    outage_plan=st.lists(
+        st.tuples(
+            st.floats(1.0, 90.0).map(lambda t: round(t, 1)),  # kill time
+            st.floats(5.0, 60.0).map(lambda t: round(t, 1)),  # downtime
+        ),
+        max_size=2,
+    ),
+)
+def test_batched_equivalence_under_failures(seed, sched_name, outage_plan):
+    """Random submit/complete/kill/revive interleavings: on/off identical."""
+    outages = tuple(
+        Outage(time=kill_time, tracker_id=i, down_for=down_for)
+        for i, (kill_time, down_for) in enumerate(outage_plan)
+    )
+    batched = run_once(seed, "oozie", sched_name, True, outages=outages)
+    reference = run_once(seed, "oozie", sched_name, False, outages=outages)
+    assert batched.tracer.dumps_jsonl() == reference.tracer.dumps_jsonl()
+    assert batched.stats == reference.stats

@@ -1,0 +1,54 @@
+"""Guard for the scale-tier trajectory file.
+
+``benchmarks/bench_scale.py`` is ``perf``-marked and excluded from tier-1,
+so this test runs the same bench machinery on a toy grid (tiny clusters,
+one repeat) and pins the payload shape, the JSON round-trip, and the
+sharded-equals-sequential invariant the tier exists to enforce.
+"""
+
+import json
+
+from benchmarks.bench_scale import (
+    CLUSTER_METRIC_KEYS,
+    WORKER_METRIC_KEYS,
+    run_bench,
+    write_json,
+)
+from repro.experiments.runner import ExperimentCell
+
+
+def test_bench_emits_valid_json_with_expected_keys(tmp_path):
+    cells = [
+        ExperimentCell("periodic", scheduler, seed=0, nodes=4, scale=0.1)
+        for scheduler in ("fifo", "woha-lpf")
+    ]
+    payload = run_bench(
+        node_sizes=(4, 8),
+        workflow_count=6,
+        worker_counts=(0, 1),
+        grid_cells=cells,
+        repeats=1,
+    )
+
+    out = tmp_path / "BENCH_scale.json"
+    write_json(payload, str(out))
+    parsed = json.loads(out.read_text())
+    assert parsed == payload  # everything in the payload is JSON-serialisable
+
+    assert parsed["bench"] == "scale"
+    assert parsed["repeats"] == 1
+    assert parsed["corpus"] == {"cluster_workflows": 6, "grid_cells": 2}
+
+    assert set(parsed["cluster_sweep"]) == {"nodes_4", "nodes_8"}
+    for entry in parsed["cluster_sweep"].values():
+        assert set(entry) == set(CLUSTER_METRIC_KEYS)
+        assert entry["wall_s"] > 0
+        assert entry["events"] > 0
+        assert entry["events_per_sec"] > 0
+        assert 0 < entry["utilization"] <= 1
+
+    assert set(parsed["worker_sweep"]) == {"workers_0", "workers_1"}
+    for entry in parsed["worker_sweep"].values():
+        assert set(entry) == set(WORKER_METRIC_KEYS)
+        assert entry["cells"] == 2
+        assert entry["matches_sequential"] is True

@@ -52,6 +52,9 @@ def test_bench_emits_valid_json_with_expected_keys(tmp_path):
 
     assert parsed["bench"] == "sim_throughput"
     assert parsed["heartbeat_interval"] == HEARTBEAT_INTERVAL
+    # The measurement protocol is part of the payload: a trajectory entry
+    # is only comparable to another taken with the same repeat count.
+    assert parsed["repeats"] == 1
     assert parsed["cluster"] == {"trace_nodes": 2, "periodic_nodes": 3}
     assert parsed["corpus"] == {"trace_workflows": 2, "periodic_workflows": 2}
     assert set(parsed["scenarios"]) == set(SCENARIO_KEYS)

@@ -178,3 +178,52 @@ class TestCallgraphCommand:
     def test_unreadable_path_exits_2(self, tmp_path, capsys):
         assert main(["callgraph", str(tmp_path / "nope.py")]) == 2
         assert "callgraph:" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_sweep_prints_cells_and_merged_summary(self, capsys):
+        assert main([
+            "sweep", "--scenario", "periodic", "--scheduler", "fifo",
+            "--nodes", "4", "--scale", "0.1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1-cell sweep" in out
+        assert "periodic|fifo|seed=0" in out
+        assert "merged:" in out
+
+    def test_sweep_grid_spans_scenarios_schedulers_seeds(self, capsys):
+        assert main([
+            "sweep", "--scenario", "periodic", "--scenario", "yahoo",
+            "--scheduler", "fifo", "--scheduler", "woha-lpf",
+            "--seeds", "2", "--nodes", "4", "--scale", "0.1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "8-cell sweep" in out
+        assert "yahoo|woha-lpf|seed=1" in out
+
+    def test_sweep_json_payload_matches_inline_run(self, tmp_path, capsys):
+        args = ["sweep", "--scenario", "periodic", "--scheduler", "fifo",
+                "--nodes", "4", "--scale", "0.1"]
+        inline = tmp_path / "inline.json"
+        sharded = tmp_path / "sharded.json"
+        assert main(args + ["--json", str(inline)]) == 0
+        assert main(args + ["--workers", "2", "--json", str(sharded)]) == 0
+        capsys.readouterr()
+        assert inline.read_text() == sharded.read_text()
+        payload = json.loads(inline.read_text())
+        assert set(payload) == {"cells", "merged"}
+
+    def test_sweep_batched_payload_identical(self, tmp_path, capsys):
+        args = ["sweep", "--scenario", "periodic", "--scheduler", "fair",
+                "--nodes", "4", "--scale", "0.1"]
+        ref = tmp_path / "ref.json"
+        bat = tmp_path / "bat.json"
+        assert main(args + ["--json", str(ref)]) == 0
+        assert main(args + ["--batched", "--json", str(bat)]) == 0
+        capsys.readouterr()
+        assert ref.read_text() == bat.read_text()
+
+    def test_sweep_rejects_bad_arguments(self, capsys):
+        assert main(["sweep", "--seeds", "0"]) == 2
+        assert main(["sweep", "--workers", "-1"]) == 2
+        capsys.readouterr()

@@ -96,3 +96,93 @@ class TestCollector:
         m = run_result.metrics
         assert m.tasks_launched == m.tasks_completed == 6
         assert m.window == 30.0
+
+
+class TestMerge:
+    """MetricsCollector.merge: the reduction step of sharded sweeps."""
+
+    def _run(self, name, submit=0.0, nodes=2):
+        config = ClusterConfig(
+            num_nodes=nodes,
+            map_slots_per_node=2,
+            reduce_slots_per_node=1,
+            heartbeat_interval=float("inf"),
+        )
+        wf = (
+            WorkflowBuilder(name)
+            .submit_at(submit)
+            .job("a", maps=4, reduces=2, map_s=10, reduce_s=20)
+            .build()
+        )
+        sim = ClusterSimulation(config, FifoScheduler(), submission="oozie")
+        sim.add_workflow(wf)
+        return sim.run().metrics
+
+    def test_counters_add(self):
+        a, b = self._run("wa"), self._run("wb")
+        merged = self._run("wa").merge(b)
+        assert merged.tasks_launched == a.tasks_launched + b.tasks_launched
+        assert merged.tasks_completed == a.tasks_completed + b.tasks_completed
+        assert merged.busy_map_seconds == a.busy_map_seconds + b.busy_map_seconds
+        assert merged.busy_reduce_seconds == a.busy_reduce_seconds + b.busy_reduce_seconds
+
+    def test_identical_shards_keep_their_utilization(self):
+        """Two copies of the same run must not dilute utilization: naive
+        (max(last) - min(first)) would halve it for overlapping shards."""
+        a, b = self._run("w"), self._run("w")
+        expected = a.utilization()
+        merged = a.merge(b)
+        assert merged.utilization() == pytest.approx(expected)
+        assert merged.window == pytest.approx(2 * self._run("w").window)
+
+    def test_disjoint_time_ranges_do_not_stretch_the_window(self):
+        """A shard submitted late lives on its own time axis; merging must
+        not price the other shard's idle gap into the denominator."""
+        a, b = self._run("wa"), self._run("wb", submit=1000.0)
+        util_a, util_b = a.utilization(), b.utilization()
+        window_a, window_b = a.window, b.window
+        merged = a.merge(b)
+        assert merged.window == pytest.approx(window_a + window_b)
+        # Weighted mean of the shard utilizations, never the naive
+        # busy / (slots * (1030 - 0)) which the global span would give.
+        lo, hi = sorted([util_a, util_b])
+        assert lo <= merged.utilization() <= hi
+        assert merged.utilization() > 0.1  # the naive global span gives ~0.04
+
+    def test_merge_is_order_deterministic(self):
+        shards = lambda: [self._run("wa"), self._run("wb", submit=50.0), self._run("wc")]
+        left = shards()
+        acc = left[0]
+        for shard in left[1:]:
+            acc.merge(shard)
+        right = shards()
+        acc2 = right[0]
+        for shard in right[1:]:
+            acc2.merge(shard)
+        assert acc.utilization() == acc2.utilization()
+        assert acc.window == acc2.window
+        assert acc.tasks_launched == acc2.tasks_launched
+
+    def test_per_kind_utilization_after_merge(self):
+        a, b = self._run("wa"), self._run("wb")
+        ua_map = a.utilization(TaskKind.MAP)
+        merged = a.merge(b)
+        assert merged.utilization(TaskKind.MAP) == pytest.approx(ua_map)
+
+    def test_scheduler_counters_merge_additively(self):
+        a, b = self._run("wa"), self._run("wb")
+        a.scheduler_counters = {"FIFO": {"decisions": 3}}
+        b.scheduler_counters = {"FIFO": {"decisions": 2, "idle_decisions": 1}}
+        merged = a.merge(b)
+        assert merged.scheduler_counters == {"FIFO": {"decisions": 5, "idle_decisions": 1}}
+
+    def test_merge_into_empty_collector(self):
+        config = ClusterConfig(num_nodes=1, heartbeat_interval=float("inf"))
+        from repro.metrics.collector import MetricsCollector
+
+        empty = MetricsCollector(config)
+        b = self._run("wb")
+        merged = empty.merge(b)
+        assert merged.tasks_launched == b.tasks_launched
+        assert merged.window == pytest.approx(self._run("wb").window)
+        assert merged.utilization() == pytest.approx(self._run("wb").utilization())
