@@ -64,6 +64,8 @@ METRIC_KEYS = (
     "fast_events",
     "reference_events_per_sec",
     "fast_events_per_sec",
+    "reference_us_per_event",
+    "fast_us_per_event",
 )
 
 
@@ -119,6 +121,12 @@ def _measure(
         "fast_events": events["fast"],
         "reference_events_per_sec": round(events["reference"] / walls["reference"], 1),
         "fast_events_per_sec": round(events["fast"] / walls["fast"], 1),
+        # Per-event cost makes "fewer but slower events" regressions visible:
+        # a fast path can shed events yet still lose wall clock if each
+        # surviving event pays more scheduler/structure overhead (the
+        # ISSUE 7 starting point: 4x fewer events at ~2.7x the unit cost).
+        "reference_us_per_event": round(1e6 * walls["reference"] / events["reference"], 3),
+        "fast_us_per_event": round(1e6 * walls["fast"] / events["fast"], 3),
     }
 
 

@@ -85,22 +85,50 @@ HOT_PATH_REGISTRY: Dict[str, Tuple[str, ...]] = {
         "DoubleSkipList.update_ct",
         "DoubleSkipList.get",
     ),
+    "repro/structures/skiplist.py": (
+        "DeterministicSkipList.insert",
+        "DeterministicSkipList.delete",
+        "DeterministicSkipList.peek_head",
+        "DeterministicSkipList.pop_head",
+        "DeterministicSkipList.find",
+    ),
     "repro/core/scheduler.py": (
         "WohaScheduler.select_task",
         "WohaScheduler._advance_ct_heads",
+        "_pick_task_in_workflow",
     ),
     "repro/cluster/jobtracker.py": (
         "JobTracker.heartbeat",
         "JobTracker._heartbeat_batched",
+        "JobTracker._heartbeat_tick",
         "JobTracker._round_batched",
         "JobTracker._pick_tracker",
         "JobTracker._notify",
         "JobTracker._wake_parked",
+        "JobTracker._tracker_quiescent",
+        "JobTracker._launch",
+        "JobTracker._complete_task",
+    ),
+    "repro/cluster/tasktracker.py": (
+        "TaskTracker.free_slots",
+        "TaskTracker.occupy",
+        "TaskTracker.release",
+    ),
+    "repro/events.py": (
+        "Simulator.schedule",
+        "Simulator.run",
     ),
     "repro/schedulers/base.py": ("WorkflowScheduler.select_tasks",),
-    "repro/schedulers/fifo.py": ("FifoScheduler.select_tasks",),
+    "repro/schedulers/fifo.py": (
+        "FifoScheduler.select_task",
+        "FifoScheduler.select_tasks",
+    ),
     "repro/schedulers/fair.py": ("FairScheduler.select_tasks",),
-    "repro/metrics/collector.py": ("MetricsCollector.merge",),
+    "repro/metrics/collector.py": (
+        "MetricsCollector.merge",
+        "MetricsCollector.on_task_launch",
+        "MetricsCollector.on_task_complete",
+    ),
 }
 
 #: Intraprocedural rules whose hits double as taint seeds.

@@ -13,6 +13,9 @@ Commands:
 * ``trace-decisions`` — run a scenario with decision tracing on and dump
   the scheduler's decision log as JSONL (optionally explaining one
   workflow's deadline miss from it).
+* ``profile`` — cProfile one deterministic scenario
+  (:mod:`repro.experiments.profiling`) and print the top-N hot functions
+  with per-event costs; the workflow behind the per-event micro-kernel.
 * ``sweep`` — run a sharded experiment grid
   (:mod:`repro.experiments.runner`): scenarios x schedulers x seeds,
   optionally fanned over worker processes, with per-cell and merged
@@ -169,6 +172,25 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--task-scale", type=float, default=0.8)
     trace.add_argument("--drop-single-job", action="store_true",
                        help="remove single-job workflows, as the paper's Fig 8-10 do")
+
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile one deterministic scenario and print the hot functions",
+    )
+    profile.add_argument("--scenario", choices=sorted(SWEEP_SCENARIOS), default="yahoo",
+                         help="scenario to profile (default: yahoo)")
+    profile.add_argument("--scheduler", choices=SCHEDULERS, default="woha-lpf")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--scale", type=float, default=0.25,
+                         help="workload scale factor (1.0 = the bench-tier size)")
+    profile.add_argument("--nodes", type=int, default=8)
+    profile.add_argument("--heartbeat", type=float, default=3.0,
+                         help="heartbeat interval in seconds; 0 = event-driven")
+    profile.add_argument("--reference", action="store_true",
+                         help="profile the reference path (fast path off)")
+    profile.add_argument("--top", type=int, default=15,
+                         help="how many functions to print (default 15)")
+    profile.add_argument("--sort", choices=("cumulative", "tottime"), default="cumulative")
 
     sweep = sub.add_parser("sweep", help="run a sharded experiment grid")
     sweep.add_argument("--scenario", action="append", choices=sorted(SWEEP_SCENARIOS),
@@ -378,6 +400,27 @@ def _cmd_trace_decisions(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.experiments.profiling import profile_scenario
+
+    if args.top <= 0:
+        print(f"--top must be positive, got {args.top}", file=sys.stderr)
+        return 2
+    report = profile_scenario(
+        args.scenario,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        scale=args.scale,
+        nodes=args.nodes,
+        heartbeat=args.heartbeat,
+        fast=not args.reference,
+        top=args.top,
+        sort=args.sort,
+    )
+    print(report.render())
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.seeds <= 0:
         print(f"--seeds must be positive, got {args.seeds}", file=sys.stderr)
@@ -439,6 +482,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_lint(args)
     if args.command == "callgraph":
         return _cmd_callgraph(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -60,6 +60,22 @@ class JobInProgress:
         self.state = JobState.RUNNING
         self._duration_sampler = duration_sampler
 
+        # Scheduler queue walks probe every queued job per assignment round
+        # (the §IV hot path), so the state those probes read is kept in
+        # plain attributes maintained on state transitions — no property
+        # dispatch chains per probe.  ``completed`` and ``map_phase_done``
+        # are flat booleans updated exactly where ``state`` /
+        # ``maps_finished`` change; ``num_maps``/``num_reduces`` are frozen
+        # copies of the immutable WJob counts.
+        self.num_maps = wjob.num_maps
+        self.num_reduces = wjob.num_reduces
+        self.completed = False
+        self.map_phase_done = wjob.num_maps == 0
+        # True iff a map task could be handed out right now (mirrors
+        # ``runnable_maps > 0``; SubmitterJob maintains it over its gated
+        # unlock queue instead).  Stale-True is harmless — obtain_map
+        # re-checks — but the transitions below keep it exact.
+        self.has_pending_maps = wjob.num_maps > 0
         self._pending_maps: Deque[int] = deque(range(wjob.num_maps))
         self._pending_reduces: Deque[int] = deque(range(wjob.num_reduces))
         self.maps_finished = 0
@@ -77,14 +93,6 @@ class JobInProgress:
         return self.wjob.name
 
     @property
-    def num_maps(self) -> int:
-        return self.wjob.num_maps
-
-    @property
-    def num_reduces(self) -> int:
-        return self.wjob.num_reduces
-
-    @property
     def maps_scheduled(self) -> int:
         """Map attempts handed out and not re-queued."""
         return self.num_maps - len(self._pending_maps)
@@ -92,10 +100,6 @@ class JobInProgress:
     @property
     def reduces_scheduled(self) -> int:
         return self.num_reduces - len(self._pending_reduces)
-
-    @property
-    def map_phase_done(self) -> bool:
-        return self.maps_finished >= self.num_maps
 
     @property
     def reduces_ready(self) -> bool:
@@ -108,7 +112,7 @@ class JobInProgress:
 
     @property
     def runnable_reduces(self) -> int:
-        if not self.reduces_ready:
+        if not self.map_phase_done:
             return 0
         return len(self._pending_reduces)
 
@@ -116,10 +120,6 @@ class JobInProgress:
         if kind.uses_map_slot:
             return self.runnable_maps > 0
         return self.runnable_reduces > 0
-
-    @property
-    def completed(self) -> bool:
-        return self.state is JobState.SUCCEEDED
 
     # -- task hand-out ----------------------------------------------------
 
@@ -135,12 +135,14 @@ class JobInProgress:
         if not self._pending_maps:
             return None
         index = self._pending_maps.popleft()
+        if not self._pending_maps:
+            self.has_pending_maps = False
         self.running_maps += 1
         return Task(job=self, kind=TaskKind.MAP, index=index, duration=self._duration(TaskKind.MAP, index))
 
     def obtain_reduce(self) -> Optional[Task]:
         """Hand out the next reduce task (only once the map phase finished)."""
-        if self.runnable_reduces <= 0:
+        if not self.map_phase_done or not self._pending_reduces:
             return None
         index = self._pending_reduces.popleft()
         self.running_reduces += 1
@@ -162,6 +164,8 @@ class JobInProgress:
         if task.kind is TaskKind.MAP:
             self.maps_finished += 1
             self.running_maps -= 1
+            if self.maps_finished >= self.num_maps:
+                self.map_phase_done = True
             if self.num_reduces > 0 and task.tracker_id is not None:
                 self._map_output_locations[task.index] = task.tracker_id
         elif task.kind is TaskKind.REDUCE:
@@ -170,9 +174,10 @@ class JobInProgress:
         else:
             raise ValueError(f"plain job got a {task.kind} task completion")
         maps_done = task.kind is TaskKind.MAP and self.map_phase_done
-        job_done = self.maps_finished >= self.num_maps and self.reduces_finished >= self.num_reduces
+        job_done = self.map_phase_done and self.reduces_finished >= self.num_reduces
         if job_done and self.state is not JobState.SUCCEEDED:
             self.state = JobState.SUCCEEDED
+            self.completed = True
             self.finish_time = now
             self._map_output_locations.clear()  # outputs now on HDFS
             return maps_done, True
@@ -185,6 +190,7 @@ class JobInProgress:
         if task.kind is TaskKind.MAP:
             self.running_maps -= 1
             self._pending_maps.appendleft(task.index)
+            self.has_pending_maps = True
         elif task.kind is TaskKind.REDUCE:
             self.running_reduces -= 1
             self._pending_reduces.appendleft(task.index)
@@ -225,6 +231,9 @@ class JobInProgress:
             del self._map_output_locations[idx]
             self.maps_finished -= 1
             self._pending_maps.append(idx)
+        if doomed:
+            self.map_phase_done = self.maps_finished >= self.num_maps
+            self.has_pending_maps = True
         return len(doomed)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -262,6 +271,8 @@ class SubmitterJob(JobInProgress):
             reduce_duration=0.0,
         )
         super().__init__(job_id, spec, workflow_name, submit_time)
+        # Submit tasks start locked; ``unlock`` arms the flag.
+        self.has_pending_maps = False
         self._task_duration = task_duration
         self._order: Tuple[str, ...] = tuple(wjob_names)
         self._unlocked: Deque[str] = deque()
@@ -275,6 +286,7 @@ class SubmitterJob(JobInProgress):
         if wjob_name in self._dispatched or wjob_name in self._unlocked:
             raise ValueError(f"{self.job_id}: wjob {wjob_name!r} unlocked twice")
         self._unlocked.append(wjob_name)
+        self.has_pending_maps = True
 
     @property
     def maps_scheduled(self) -> int:
@@ -292,6 +304,8 @@ class SubmitterJob(JobInProgress):
         if not self._unlocked:
             return None
         wjob_name = self._unlocked.popleft()
+        if not self._unlocked:
+            self.has_pending_maps = False
         self._dispatched.add(wjob_name)
         index = self._next_index
         self._next_index += 1
@@ -312,6 +326,8 @@ class SubmitterJob(JobInProgress):
         job_done = self.maps_finished >= self.num_maps
         if job_done and self.state is not JobState.SUCCEEDED:
             self.state = JobState.SUCCEEDED
+            self.completed = True
+            self.map_phase_done = True
             self.finish_time = now
             return True, True
         return False, False
@@ -323,6 +339,7 @@ class SubmitterJob(JobInProgress):
         self.running_maps -= 1
         self._dispatched.discard(task.payload)
         self._unlocked.appendleft(task.payload)
+        self.has_pending_maps = True
 
     def invalidate_map_outputs(self, tracker_id: int) -> int:
         """Submit tasks leave nothing behind on the tracker."""

@@ -167,15 +167,15 @@ class JobTracker:
         self._free_reduces = config.total_reduce_slots
         self._rr_pointer = 0  # round-robin start for tracker selection
         # Free-tracker rings: bit i is set iff trackers[i] is alive with a
-        # free slot of the pool (key True = map pool).  _pick_tracker reads
-        # the round-robin pointer's cyclic successor with two lowest-set-bit
-        # probes instead of an O(n) scan; bits are re-derived on every slot
-        # transition by _update_free_mask.
+        # free slot of the pool.  _pick_tracker reads the round-robin
+        # pointer's cyclic successor with two lowest-set-bit probes instead
+        # of an O(n) scan; bits are re-derived on every slot transition by
+        # _update_free_mask.  Two flat ints (not a bool-keyed dict): the
+        # mask updates run twice per task lifetime and the wake scan reads
+        # both masks per completion.
         full_mask = (1 << config.num_nodes) - 1
-        self._free_masks: Dict[bool, int] = {
-            True: full_mask if config.map_slots_per_node > 0 else 0,
-            False: full_mask if config.reduce_slots_per_node > 0 else 0,
-        }
+        self._free_mask_map = full_mask if config.map_slots_per_node > 0 else 0
+        self._free_mask_reduce = full_mask if config.reduce_slots_per_node > 0 else 0
         self._listeners: List[object] = []
         # Per-hook pre-bound listener callables (built in add_listener) so
         # _notify dispatches without per-event getattr probing.
@@ -193,12 +193,20 @@ class JobTracker:
             and config.heartbeat_interval != float("inf")
         )
         self._parked: Dict[int, None] = {}
+        # Bit i set iff trackers[i] is parked — mirrors ``_parked`` so the
+        # wake scan can prove "nothing to wake" with one AND instead of
+        # iterating the parked set per state change.
+        self._parked_mask = 0
         self._hb_anchor: List[float] = [0.0] * config.num_nodes
         # Unfinished wjobs registered via submit_wjob (submitters excluded),
         # maintained on submission/completion transitions.
         self._wjob_running = 0
         self.speculator = None  # optional SpeculationManager
         self.tracer: Union[DecisionTracer, NullTracer] = NULL_TRACER
+        # Flat mirror of ``tracer.enabled`` so the per-launch/per-complete
+        # guards cost one attribute read instead of two (null-object
+        # indirection priced at zero when tracing is off).
+        self._tracing = False
         # Free-up timestamps per slot pool (True = map pool), consumed
         # FIFO by launches to derive slot-idle ("assignment latency")
         # counters.  Only maintained while a tracer is attached.
@@ -217,6 +225,7 @@ class JobTracker:
         events land in the same log.
         """
         self.tracer = tracer
+        self._tracing = tracer.enabled
         if tracer.enabled:
             self.add_listener(tracer)
 
@@ -354,6 +363,7 @@ class JobTracker:
             self._hb_anchor[tracker.tracker_id] = tick_time
             self.sim.schedule(tick_time, self._heartbeat_tick, tracker)
 
+    # repro: budget O(n)
     def _heartbeat_tick(self, tracker: TaskTracker) -> None:
         if not tracker.alive:
             # The chain dies with the tracker; revive_tracker re-arms it.
@@ -370,31 +380,34 @@ class JobTracker:
             # (_mark_scheduler_dirty / a slot freeing) re-arms it on the
             # same phase grid.
             self._parked[tid] = None
+            self._parked_mask |= 1 << tid
             return
         self._parked.pop(tid, None)
-        self.sim.schedule_after(self.config.heartbeat_interval, self._heartbeat_tick, tracker)
+        self._parked_mask &= ~(1 << tid)
+        sim = self.sim
+        sim.schedule(sim.now + self.config.heartbeat_interval, self._heartbeat_tick, tracker)
 
     # repro: budget O(1)
     def _tracker_quiescent(self, tracker: TaskTracker) -> bool:
         """Park test: every slot kind is full or provably unservable."""
         scheduler = self.scheduler
-        for kind in (TaskKind.MAP, TaskKind.REDUCE):
-            if tracker.free_slots(kind) > 0 and scheduler.has_runnable(kind):
-                return False
-        return True
+        if tracker.free_map_slots > 0 and scheduler.maybe_map:
+            return False
+        return not (tracker.free_reduce_slots > 0 and scheduler.maybe_reduce)
 
     # repro: budget O(log n)
     def heartbeat(self, tracker: TaskTracker) -> List[Task]:
         """One tracker reports in; fill its free slots from the scheduler."""
         launched: List[Task] = []
         scheduler = self.scheduler
+        now = self.sim.now
         for kind in (TaskKind.MAP, TaskKind.REDUCE):
             while tracker.free_slots(kind) > 0:
                 if not scheduler.has_runnable(kind):
                     # A prior select_task proved idle and nothing changed
                     # since; asking again could not answer differently.
                     break
-                task = scheduler.select_task(kind, self.sim.now)
+                task = scheduler.select_task(kind, now)
                 if task is None:
                     scheduler.note_idle(kind)
                     break
@@ -412,17 +425,24 @@ class JobTracker:
         """
         launched: List[Task] = []
         scheduler = self.scheduler
+        now = self.sim.now
 
         def _launch_here(task: Task) -> None:
             self._launch(task, tracker)
             launched.append(task)
 
-        for kind in (TaskKind.MAP, TaskKind.REDUCE):
-            free = tracker.free_slots(kind)
-            if free <= 0 or not scheduler.has_runnable(kind):
-                continue
-            if scheduler.select_tasks(kind, self.sim.now, free, _launch_here) < free:
-                scheduler.note_idle(kind)
+        # Unrolled over the two kinds with direct slot/hint attribute reads:
+        # this runs once per non-parked tick, and the common loaded-cluster
+        # outcome is "nothing to do" — the probes must cost two attribute
+        # reads, not method dispatch per kind.
+        free = tracker.free_map_slots
+        if free > 0 and scheduler.maybe_map:
+            if scheduler.select_tasks(TaskKind.MAP, now, free, _launch_here) < free:
+                scheduler.maybe_map = False
+        free = tracker.free_reduce_slots
+        if free > 0 and scheduler.maybe_reduce:
+            if scheduler.select_tasks(TaskKind.REDUCE, now, free, _launch_here) < free:
+                scheduler.maybe_reduce = False
         return launched
 
     @hot_path
@@ -434,18 +454,46 @@ class JobTracker:
         the smallest ``anchor + k * interval`` strictly after ``now`` — so
         tick times match the never-parked reference path exactly.
         """
-        now = self.sim.now
+        # A parked tracker must wake iff some kind has both a free slot on
+        # it and a maybe-runnable task.  The free-slot rings already encode
+        # "alive with a free slot of the pool" per tracker bit, so the
+        # per-tracker quiescence probes collapse to one bit test against
+        # the union of the servable pools' masks (parked order preserved).
+        scheduler = self.scheduler
+        mask = 0
+        if scheduler.maybe_map:
+            mask |= self._free_mask_map
+        if scheduler.maybe_reduce:
+            mask |= self._free_mask_reduce
+        mask &= self._parked_mask
+        if not mask:
+            return
+        sim = self.sim
+        now = sim.now
         interval = self.config.heartbeat_interval
-        woken = [
-            tid for tid in self._parked if not self._tracker_quiescent(self.trackers[tid])
-        ]
+        if not mask & (mask - 1):
+            # Exactly one wakeable tracker (the common case after a single
+            # completion): skip the parked-order scan — order is moot.
+            tid = mask.bit_length() - 1
+            del self._parked[tid]
+            self._parked_mask &= ~mask
+            anchor = self._hb_anchor[tid]
+            tick = anchor + (int((now - anchor) / interval) + 1) * interval
+            if tick <= now:
+                tick += interval
+            sim.schedule(tick, self._heartbeat_tick, self.trackers[tid])
+            return
+        # Multiple wake-ups: walk in parked (insertion) order so timers that
+        # land on the same tick instant keep their established FIFO order.
+        woken = [tid for tid in self._parked if mask >> tid & 1]
         for tid in woken:
             del self._parked[tid]
+            self._parked_mask &= ~(1 << tid)
             anchor = self._hb_anchor[tid]
             tick = anchor + (math.floor((now - anchor) / interval) + 1) * interval
             if tick <= now:
                 tick += interval
-            self.sim.schedule(tick, self._heartbeat_tick, self.trackers[tid])
+            sim.schedule(tick, self._heartbeat_tick, self.trackers[tid])
 
     # repro: budget O(n)
     def _mark_scheduler_dirty(self) -> None:
@@ -508,16 +556,31 @@ class JobTracker:
         decision event the batched trace must reproduce.
         """
         scheduler = self.scheduler
-        for kind in (TaskKind.MAP, TaskKind.REDUCE):
-            free = self.free_slots(kind)
-            if free <= 0:
-                continue
+        now = self.sim.now
+        # Untraced runs may reuse proven-idle hints here: skipping the call
+        # launches nothing (the hint being False means a prior walk proved
+        # idle and no state change followed) and note_idle would only
+        # re-write the already-False flag.  Traced runs must still ask, to
+        # emit the idle decision event the reference sweep records.
+        # Unrolled over the two kinds with direct pool/hint reads — this is
+        # the once-per-completion sweep on the loaded-trace hot path.
+        tracing = self._tracing
+        free = self._free_maps
+        if free > 0 and (tracing or scheduler.maybe_map):
 
-            def _launch_rr(task: Task, _kind: TaskKind = kind) -> None:
-                self._launch(task, self._pick_tracker(_kind))
+            def _launch_map(task: Task) -> None:
+                self._launch(task, self._pick_tracker(TaskKind.MAP))
 
-            if scheduler.select_tasks(kind, self.sim.now, free, _launch_rr) < free:
-                scheduler.note_idle(kind)
+            if scheduler.select_tasks(TaskKind.MAP, now, free, _launch_map) < free:
+                scheduler.maybe_map = False
+        free = self._free_reduces
+        if free > 0 and (tracing or scheduler.maybe_reduce):
+
+            def _launch_reduce(task: Task) -> None:
+                self._launch(task, self._pick_tracker(TaskKind.REDUCE))
+
+            if scheduler.select_tasks(TaskKind.REDUCE, now, free, _launch_reduce) < free:
+                scheduler.maybe_reduce = False
         return
     # repro: budget O(log n)
     def _pick_tracker(self, kind: TaskKind) -> TaskTracker:
@@ -528,7 +591,7 @@ class JobTracker:
         lowest-set-bit probes (first set bit at or after the pointer, else
         wrap to the lowest set bit) instead of an O(n) probe loop.
         """
-        mask = self._free_masks[kind.uses_map_slot]
+        mask = self._free_mask_map if kind is not TaskKind.REDUCE else self._free_mask_reduce
         if not mask:
             raise RuntimeError("no free slot despite positive cluster-wide count")
         upper = mask >> self._rr_pointer
@@ -543,71 +606,89 @@ class JobTracker:
     def _update_free_mask(self, tracker: TaskTracker) -> None:
         """Re-derive one tracker's free-ring bits from its slot state."""
         bit = 1 << tracker.tracker_id
-        if tracker.alive and tracker.free_map_slots > 0:
-            self._free_masks[True] |= bit
+        alive = tracker.alive
+        if alive and tracker.free_map_slots > 0:
+            self._free_mask_map |= bit
         else:
-            self._free_masks[True] &= ~bit
-        if tracker.alive and tracker.free_reduce_slots > 0:
-            self._free_masks[False] |= bit
+            self._free_mask_map &= ~bit
+        if alive and tracker.free_reduce_slots > 0:
+            self._free_mask_reduce |= bit
         else:
-            self._free_masks[False] &= ~bit
+            self._free_mask_reduce &= ~bit
 
+    # repro: budget O(log n)
     def _launch(self, task: Task, tracker: TaskTracker) -> None:
+        sim = self.sim
+        now = sim.now
+        kind = task.kind
+        uses_map = kind is not TaskKind.REDUCE
         tracker.occupy(task)
-        if task.kind.uses_map_slot:
+        # Inline one-pool mask maintenance (occupy already decremented the
+        # tracker's free count): only the consumed pool's bit can change,
+        # and only when the tracker's last slot of that pool just went busy.
+        if uses_map:
             self._free_maps -= 1
+            if tracker.free_map_slots == 0:
+                self._free_mask_map &= ~(1 << tracker.tracker_id)
         else:
             self._free_reduces -= 1
-        self._update_free_mask(tracker)
-        task.launch_time = self.sim.now
-        if self.tracer.enabled:
+            if tracker.free_reduce_slots == 0:
+                self._free_mask_reduce &= ~(1 << tracker.tracker_id)
+        task.launch_time = now
+        if self._tracing:
             # Slot-idle gap: seconds since the consumed pool's oldest
             # free-up.  Slots free at simulation start have no recorded
             # free-up, so their first assignment carries wait=None.
-            pool = self._free_since[task.kind.uses_map_slot]
-            wait = self.sim.now - pool.popleft() if pool else None
+            pool = self._free_since[uses_map]
+            wait = now - pool.popleft() if pool else None
             self.tracer.incr(self.scheduler.name, "assignments")
             if wait is not None:
                 self.tracer.incr(self.scheduler.name, "assign_wait_seconds", wait)
                 self.tracer.incr(self.scheduler.name, "assign_wait_samples")
             self.tracer.record(
                 "assign",
-                self.sim.now,
+                now,
                 workflow=task.workflow_name,
                 task=task.task_id,
-                slot_kind=task.kind.value,
+                slot_kind=kind.value,
                 tracker=tracker.tracker_id,
                 wait=wait,
             )
-        if task.kind is not TaskKind.SUBMIT and task.workflow_name is not None and not task.speculative:
-            # Backup attempts duplicate an index already counted in rho.
-            self.workflows[task.workflow_name].scheduled_tasks += 1
-        if not task.speculative:
-            self.scheduler.on_task_assigned(task, self.sim.now)
-        self._notify("on_task_launch", task, self.sim.now)
-        task.completion_handle = self.sim.schedule_after(
-            task.duration, self._complete_task, task, tracker
+        speculative = task.speculative
+        if not speculative:
+            wf_name = task.job.workflow_name
+            if kind is not TaskKind.SUBMIT and wf_name is not None:
+                # Backup attempts duplicate an index already counted in rho.
+                self.workflows[wf_name].scheduled_tasks += 1
+            self.scheduler.on_task_assigned(task, now)
+        self._notify("on_task_launch", task, now)
+        task.completion_handle = sim.schedule(
+            now + task.duration, self._complete_task, task, tracker
         )
 
     # -- completion ----------------------------------------------------------
 
+    # repro: budget O(n)
     def _complete_task(self, task: Task, tracker: TaskTracker) -> None:
         now = self.sim.now
         tracker.release(task)
-        if task.kind.uses_map_slot:
+        # The freed pool's ring bit is set unconditionally: the tracker is
+        # alive (it just completed a task) and now has >= 1 free slot.
+        if task.kind is not TaskKind.REDUCE:
             self._free_maps += 1
+            self._free_mask_map |= 1 << tracker.tracker_id
         else:
             self._free_reduces += 1
-        self._update_free_mask(tracker)
+            self._free_mask_reduce |= 1 << tracker.tracker_id
         task.finish_time = now
-        if self.tracer.enabled:
+        if self._tracing:
             self._trace_slot_free(task, now)
         if self.speculator is not None:
             # This attempt committed; retire any sibling attempts first so
             # the logical task is accounted exactly once.
             for loser in self.speculator.commit(task):
                 self._kill_attempt(loser)
-        _maps_done, job_done = task.job.on_task_complete(task, now)
+        maps_done, job_done = task.job.on_task_complete(task, now)
         self._notify("on_task_complete", task, now)
 
         if task.kind is TaskKind.SUBMIT:
@@ -618,10 +699,25 @@ class JobTracker:
                 self.scheduler.on_job_completed(task.job, now)
         elif job_done:
             self._on_wjob_completed(task.job, now)
-        # The completion itself (slot freed, possibly reduces now ready or
-        # dependents unlocked) is a wake/dirty condition.
-        self._mark_scheduler_dirty()
+        # Targeted hint refresh: a mid-phase completion frees a slot but
+        # adds no runnable work (pending sets only shrink at launch time),
+        # so proven-idle hints stay valid.  New work appears only when the
+        # map phase finishes (reduces expose) or the job finishes (unlocks
+        # dependents; their submissions mark dirty themselves, but the
+        # unlock made submit tasks runnable).  Every scheduler here is
+        # work-conserving — select_task returns None only when nothing is
+        # runnable — which is what makes the stale-False case impossible.
+        if maps_done or job_done:
+            self.scheduler.note_state_change()
         self.schedule_round()
+        # Wake parked timers from the POST-round state: the eager round just
+        # ended with every kind either slot-saturated or proven idle, so any
+        # tracker it leaves wakeable genuinely has a servable free slot.
+        # Waking before the round would re-arm timers for slots the round is
+        # about to refill — ticks that fire, find nothing (the provable
+        # no-op invariant), and re-park, at one queue event apiece.
+        if self._parked:
+            self._wake_parked()
 
     def _kill_attempt(self, task: Task) -> None:
         """Retire a running attempt whose logical task is covered elsewhere."""
@@ -634,7 +730,7 @@ class JobTracker:
                 self._free_maps += 1
             else:
                 self._free_reduces += 1
-            if self.tracer.enabled:
+            if self._tracing:
                 self._trace_slot_free(task, self.sim.now)
         self._update_free_mask(tracker)
         task.job.on_attempt_killed(task)
@@ -680,6 +776,7 @@ class JobTracker:
         self._free_reduces -= tracker.free_reduce_slots
         self._update_free_mask(tracker)
         self._parked.pop(tracker_id, None)
+        self._parked_mask &= ~(1 << tracker_id)
         lost = list(tracker.running)
         for task in lost:
             if task.completion_handle is not None:
@@ -719,6 +816,7 @@ class JobTracker:
         self._update_free_mask(tracker)
         if self.config.heartbeat_interval != float("inf"):
             self._parked.pop(tracker_id, None)
+            self._parked_mask &= ~(1 << tracker_id)
             self.sim.schedule_after(self.config.heartbeat_interval, self._heartbeat_tick, tracker)
         self._mark_scheduler_dirty()
         self.schedule_round()

@@ -25,7 +25,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Union
 from repro.analysis.contracts import ContractChecker, ContractMonitor
 from repro.cluster.config import ClusterConfig
 from repro.cluster.jobtracker import JobTracker
-from repro.events import SimulationError, Simulator
+from repro.events import Simulator
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import deadline_miss_ratio, max_tardiness, total_tardiness
 from repro.oozie import OozieCoordinator
@@ -170,9 +170,11 @@ class ClusterSimulation:
             self.oozie = OozieCoordinator(self.sim, self.jobtracker)
         self._workflows: List[Workflow] = []
         # Maintained from the workflow-completed listener hook so the
-        # heartbeat run loop's per-event _all_done() check is O(1) instead
-        # of a scan over every WorkflowInProgress.
+        # heartbeat run loop's completion check is O(1) instead of a scan
+        # over every WorkflowInProgress.  ``_stop_when_done`` arms the hook
+        # (finite-heartbeat runs only) to halt the engine at completion.
         self._completed_workflows = 0
+        self._stop_when_done = False
         self.jobtracker.add_listener(self)
 
     def add_workflow(self, workflow: Workflow) -> None:
@@ -204,25 +206,22 @@ class ClusterSimulation:
         self.jobtracker.start_heartbeats()
         # With periodic heartbeats the event queue may never drain (without
         # quiescent parking, trackers re-arm forever), so stop once all
-        # workflows have completed: step one event at a time and check.
+        # workflows have completed.  Rather than stepping one event at a
+        # time from Python and re-checking, run the engine's fused kernel
+        # and have the completion hook request the stop the moment the last
+        # workflow finishes — no further event fires, exactly like the
+        # per-event check.  The infinite-interval branch must NOT stop at
+        # completion: its queue drains naturally, and events scheduled past
+        # the last completion (e.g. outage injections) still fire there.
         if self.config.heartbeat_interval == float("inf"):
             self.sim.run(until=until, max_events=max_events)
         else:
-            # Peek the queue head (like Simulator.run) so an event past
-            # `until` is left unfired rather than overshooting the horizon.
-            fired = 0
-            while not self._all_done():
-                next_time = self.sim.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                if max_events is not None and fired >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; runaway simulation?"
-                    )
-                self.sim.step()
-                fired += 1
+            if not self._all_done():
+                self._stop_when_done = True
+                try:
+                    self.sim.run(until=until, max_events=max_events)
+                finally:
+                    self._stop_when_done = False
             if until is not None:
                 self.sim.advance_to(until)
         makespan = max(
@@ -257,6 +256,8 @@ class ClusterSimulation:
     def on_workflow_completed(self, wip, now: float) -> None:
         """JobTracker listener hook (fires exactly once per workflow)."""
         self._completed_workflows += 1
+        if self._stop_when_done and self._all_done():
+            self.sim.request_stop()
 
     def _all_done(self) -> bool:
         # Counting completions is equivalent to scanning for a None

@@ -29,7 +29,7 @@ class TaskKind(enum.Enum):
         return self is not TaskKind.REDUCE
 
 
-@dataclass(eq=False)  # identity equality/hash: each attempt is a distinct object
+@dataclass(eq=False, slots=True)  # identity equality/hash: each attempt is a distinct object
 class Task:
     """One task attempt.
 

@@ -26,43 +26,52 @@ class TaskTracker:
         # iteration order would vary run-to-run — and kill_tracker's loss
         # handling iterates this to re-queue attempts (DT101).
         self.running: Dict[Task, None] = {}
-        self._running_maps = 0
-        self._running_reduces = 0
+        # Free counts are plain maintained ints, not ``slots - running``
+        # properties: the quiescence tests and wake scans read them once
+        # per tracker per event, which is exactly the per-event overhead
+        # the loaded-trace fast path must not pay in property dispatch.
+        self.free_map_slots = map_slots
+        self.free_reduce_slots = reduce_slots
         self.alive = True
 
     @property
-    def free_map_slots(self) -> int:
-        return self.map_slots - self._running_maps
+    def _running_maps(self) -> int:
+        return self.map_slots - self.free_map_slots
 
     @property
-    def free_reduce_slots(self) -> int:
-        return self.reduce_slots - self._running_reduces
+    def _running_reduces(self) -> int:
+        return self.reduce_slots - self.free_reduce_slots
 
+    # repro: budget O(1)
     def free_slots(self, kind: TaskKind) -> int:
-        return self.free_map_slots if kind.uses_map_slot else self.free_reduce_slots
+        # Identity test instead of the ``uses_map_slot`` enum property:
+        # called once per kind per heartbeat/assignment round.
+        return self.free_map_slots if kind is not TaskKind.REDUCE else self.free_reduce_slots
 
+    # repro: budget O(1)
     def occupy(self, task: Task) -> None:
         """Place a task into a slot; raises if no slot of its kind is free."""
         if not self.alive:
             raise RuntimeError(f"tracker {self.tracker_id} is dead")
-        if task.kind.uses_map_slot:
-            if self._running_maps >= self.map_slots:
+        if task.kind is not TaskKind.REDUCE:
+            if self.free_map_slots <= 0:
                 raise RuntimeError(f"tracker {self.tracker_id}: map slots oversubscribed")
-            self._running_maps += 1
+            self.free_map_slots -= 1
         else:
-            if self._running_reduces >= self.reduce_slots:
+            if self.free_reduce_slots <= 0:
                 raise RuntimeError(f"tracker {self.tracker_id}: reduce slots oversubscribed")
-            self._running_reduces += 1
+            self.free_reduce_slots -= 1
         self.running[task] = None
         task.tracker_id = self.tracker_id
 
+    # repro: budget O(1)
     def release(self, task: Task) -> None:
         """Free the slot a finished (or killed) task occupied."""
         self.running.pop(task, None)
-        if task.kind.uses_map_slot:
-            self._running_maps -= 1
+        if task.kind is not TaskKind.REDUCE:
+            self.free_map_slots += 1
         else:
-            self._running_reduces -= 1
+            self.free_reduce_slots += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -61,7 +61,7 @@ class _WorkflowRecord:
     """Scheduler-private state for one workflow (the ``W_h`` fields of
     Algorithm 2)."""
 
-    __slots__ = ("wip", "plan", "rank", "index", "rho_base")
+    __slots__ = ("wip", "plan", "rank", "index", "rho_base", "deadline", "planned")
 
     def __init__(self, wip: "WorkflowInProgress", plan: Optional[ProgressPlan]):
         self.wip = wip
@@ -75,19 +75,26 @@ class _WorkflowRecord:
         # repro.core.replanning) rebases so the fresh plan's requirements
         # compare against progress made after the replan.
         self.rho_base = 0
+        # Deadlines are immutable after submission; cache the property
+        # chain's result.  ``planned`` is the has_plan predicate evaluated
+        # once per plan install instead of once per priority read — the
+        # per-decision hot path only pays a slot load.
+        self.deadline = wip.deadline
+        self.planned = (
+            plan is not None
+            and self.deadline is not None
+            and len(plan) > 0
+            and plan.feasible
+        )
 
     @property
     def has_plan(self) -> bool:
         # Infeasible plans are demoted to best-effort: their requirements
         # cannot be met by construction, so following them would starve
         # feasible workflows (the flag must therefore survive plan
-        # serialization — see ProgressPlan.to_bytes).
-        return (
-            self.plan is not None
-            and self.wip.deadline is not None
-            and len(self.plan) > 0
-            and self.plan.feasible
-        )
+        # serialization — see ProgressPlan.to_bytes).  Maintained at
+        # construction and plan install; see ``planned``.
+        return self.planned
 
     @property
     def rho(self) -> int:
@@ -95,9 +102,9 @@ class _WorkflowRecord:
         return self.wip.scheduled_tasks - self.rho_base
 
     def next_change_time(self) -> float:
-        if not self.has_plan:
+        if not self.planned:
             return float("inf")
-        return self.plan.change_time(self.wip.deadline, self.index)
+        return self.plan.change_time(self.deadline, self.index)
 
     def current_priority(self) -> float:
         """The lag ``F_h[W_h.i - 1].req - rho_h``.
@@ -105,41 +112,63 @@ class _WorkflowRecord:
         Unplanned workflows get -inf-like priority so planned workflows
         always outrank them; their FIFO tie-break is the item id.
         """
-        if not self.has_plan:
+        if not self.planned:
             return float("-inf")
-        return self.plan.requirement_before(self.index) - self.rho
+        return self.plan.requirement_before(self.index) - (
+            self.wip.scheduled_tasks - self.rho_base
+        )
 
     def install_plan(self, plan: ProgressPlan, now: float) -> None:
         """Swap in a fresh plan, rebasing progress accounting."""
         self.plan = plan
         self.rank = {name: i for i, name in enumerate(plan.job_order)}
         self.rho_base = self.wip.scheduled_tasks
-        self.index = (
-            plan.first_index_after(self.wip.deadline, now) if self.has_plan else 0
-        )
+        self.planned = self.deadline is not None and len(plan) > 0 and plan.feasible
+        self.index = plan.first_index_after(self.deadline, now) if self.planned else 0
 
 
+# repro: budget O(n)
 def _pick_task_in_workflow(record: _WorkflowRecord, kind: TaskKind) -> Optional[Task]:
     """Pick the highest-priority runnable job inside the workflow.
 
     Submitter tasks go first on map slots; then the plan's job order (jobs
-    absent from the plan sort last, FIFO)."""
+    absent from the plan sort last, FIFO).  The walk covers only the
+    workflow's *active* (submitted, unfinished) jobs — completed jobs can
+    never be picked, and the active dict preserves submission order, so the
+    FIFO tie-break among unplanned jobs is unchanged."""
     wip = record.wip
-    if kind.uses_map_slot and wip.submitter is not None and wip.submitter.runnable_maps > 0:
-        return wip.submitter.obtain_map()
+    uses_map = kind is not TaskKind.REDUCE
+    if uses_map:
+        submitter = wip.submitter
+        if submitter is not None and submitter.has_pending_maps:
+            task = submitter.obtain_map()
+            if task is not None:
+                return task
     best: Optional[JobInProgress] = None
     best_rank = None
+    rank_of = record.rank
+    default_rank = len(rank_of)
     # Bounded by the job count of ONE workflow (paper's n per-workflow
     # topology size), not by the queue length n_w the budgets govern.
-    for name, jip in wip.jobs.items():  # repro: allow[DT203]
-        if jip.completed or not jip.has_runnable(kind):
+    if uses_map:
+        for name, jip in wip._active_jobs.items():  # repro: allow[DT203]
+            if not jip.has_pending_maps:
+                continue
+            rank = rank_of.get(name, default_rank)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = jip, rank
+        if best is None:
+            return None
+        return best.obtain_map()
+    for name, jip in wip._active_jobs.items():  # repro: allow[DT203]
+        if not jip.map_phase_done or not jip._pending_reduces:
             continue
-        rank = record.rank.get(name, len(record.rank))
+        rank = rank_of.get(name, default_rank)
         if best_rank is None or rank < best_rank:
             best, best_rank = jip, rank
     if best is None:
         return None
-    return best.obtain(kind)
+    return best.obtain_reduce()
 
 
 class WohaScheduler(WorkflowScheduler):
@@ -203,13 +232,15 @@ class WohaScheduler(WorkflowScheduler):
         ``ct_advance`` events).
         """
         advanced = 0
-        while True:
-            head = self._queue.head_by_ct()
-            if head is None or head.ct > now:
-                break
+        queue = self._queue
+        # One peek per iteration plus one trailing peek; ``_ct`` is the
+        # entry's slot behind the ``ct`` property (setter exists only to
+        # keep the cached key coherent — reads don't need the dispatch).
+        head = queue.head_by_ct()
+        while head is not None and head._ct <= now:
             record: _WorkflowRecord = head.payload
-            record.index = record.plan.first_index_after(record.wip.deadline, now)
-            self._queue.update_head_ct(record.next_change_time(), record.current_priority())
+            record.index = record.plan.first_index_after(record.deadline, now)
+            queue.update_head_ct(record.next_change_time(), record.current_priority())
             advanced += 1
             if self.tracer.enabled:
                 self.tracer.incr(self.name, "ct_advances")
@@ -221,6 +252,7 @@ class WohaScheduler(WorkflowScheduler):
                     index=record.index,
                     lag=record.current_priority(),
                 )
+            head = queue.head_by_ct()
         return advanced
 
     # repro: budget O(log n)
@@ -228,7 +260,31 @@ class WohaScheduler(WorkflowScheduler):
         self.assign_calls += 1
         advanced = self._advance_ct_heads(now)
         tracing = self.tracer.enabled
-        skipped: Optional[List[str]] = [] if tracing else None
+        if not tracing:
+            # Untraced micro-kernel: the identical head-first walk and the
+            # identical decisions, minus the enumerate/skipped-list
+            # bookkeeping that exists only to populate decision events.
+            # Head first without building the generator — the common case
+            # is that the priority head has a runnable task.
+            queue = self._queue
+            head = queue.head_by_priority()
+            if head is None:
+                return None
+            # Per-workflow scan is bounded by the workflow's job count — the
+            # same §IV-B work-conservation exception the traced path claims.
+            task = _pick_task_in_workflow(head.payload, kind)  # repro: allow[DT203]
+            if task is not None:
+                return task
+            first = True
+            for entry in queue.iter_by_priority():  # repro: allow[DT203]
+                if first:  # the head was already probed (and proved empty)
+                    first = False
+                    continue
+                task = _pick_task_in_workflow(entry.payload, kind)  # repro: allow[DT203]
+                if task is not None:
+                    return task
+            return None
+        skipped: List[str] = []
         # Serve the largest lag first; skip workflows with nothing runnable
         # of this kind (work conservation).  The scan is O(1) on the common
         # path (the priority head is runnable); it only walks past a prefix
@@ -236,7 +292,7 @@ class WohaScheduler(WorkflowScheduler):
         # work-conservation exception to the O(log n_w) claim.
         for position, entry in enumerate(self._queue.iter_by_priority()):  # repro: allow[DT203]
             record: _WorkflowRecord = entry.payload
-            task = _pick_task_in_workflow(record, kind)
+            task = _pick_task_in_workflow(record, kind)  # repro: allow[DT203]
             if task is not None:
                 if tracing:
                     self.tracer.incr(self.name, "decisions")

@@ -76,21 +76,33 @@ class MetricsCollector:
 
     # -- JobTracker listener hooks -----------------------------------------
 
+    # repro: budget O(1)
     def on_task_launch(self, task: Task, now: float) -> None:
+        # Once per launch on the simulation hot path: identity tests and a
+        # direct job attribute read instead of enum/Task property dispatch.
+        kind = task.kind
+        wf_name = task.job.workflow_name
         self.tasks_launched += 1
-        self._deltas.append((now, task.workflow_name, task.kind.uses_map_slot, +1))
-        if task.kind is not TaskKind.SUBMIT and not task.speculative:
-            self._progress_events.append((now, task.workflow_name))
-        self._touch(now)
+        self._deltas.append((now, wf_name, kind is not TaskKind.REDUCE, +1))
+        if kind is not TaskKind.SUBMIT and not task.speculative:
+            self._progress_events.append((now, wf_name))
+        if self.first_event is None:
+            self.first_event = now
+        self.last_event = now
 
+    # repro: budget O(1)
     def on_task_complete(self, task: Task, now: float) -> None:
+        kind = task.kind
         self.tasks_completed += 1
-        self._deltas.append((now, task.workflow_name, task.kind.uses_map_slot, -1))
-        if task.kind.uses_map_slot:
+        if kind is not TaskKind.REDUCE:
+            self._deltas.append((now, task.job.workflow_name, True, -1))
             self.busy_map_seconds += task.duration
         else:
+            self._deltas.append((now, task.job.workflow_name, False, -1))
             self.busy_reduce_seconds += task.duration
-        self._touch(now)
+        if self.first_event is None:
+            self.first_event = now
+        self.last_event = now
 
     def on_task_lost(self, task: Task, now: float) -> None:
         """A tracker failure killed a running attempt; the partial work it

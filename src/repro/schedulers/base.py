@@ -53,7 +53,11 @@ class WorkflowScheduler(abc.ABC):
         # select_task again.  ``True`` means "maybe"; false positives
         # cost one select_task call, false negatives would change
         # decisions and are therefore impossible by construction.
-        self._maybe_runnable = {TaskKind.MAP: True, TaskKind.REDUCE: True}
+        # Flat booleans, not an enum-keyed dict: the quiescence test and
+        # the parked-timer wake scan read them once per tracker per event,
+        # and an enum-keyed lookup pays enum ``__hash__`` dispatch per read.
+        self.maybe_map = True
+        self.maybe_reduce = True
 
     def bind(self, jobtracker: "JobTracker") -> None:
         """Called once by the JobTracker before any other callback."""
@@ -84,20 +88,23 @@ class WorkflowScheduler(abc.ABC):
         JobTracker maintains the flag via :meth:`note_idle` /
         :meth:`note_state_change`; schedulers never flip it themselves.
         """
-        return self._maybe_runnable[kind]
+        return self.maybe_map if kind is not TaskKind.REDUCE else self.maybe_reduce
 
     # repro: budget O(1)
     def note_idle(self, kind: TaskKind) -> None:
         """Record that ``select_task(kind, ...)`` just returned ``None``."""
-        self._maybe_runnable[kind] = False
+        if kind is not TaskKind.REDUCE:
+            self.maybe_map = False
+        else:
+            self.maybe_reduce = False
 
     # repro: budget O(1)
     def note_state_change(self) -> None:
         """Invalidate idle hints: cluster state changed in a way that could
         make ``select_task`` answer differently (submission, completion,
         plan install, tracker death/revival)."""
-        self._maybe_runnable[TaskKind.MAP] = True
-        self._maybe_runnable[TaskKind.REDUCE] = True
+        self.maybe_map = True
+        self.maybe_reduce = True
 
     # -- lifecycle notifications (default: ignore) -----------------------
 

@@ -37,9 +37,30 @@ class FifoScheduler(WorkflowScheduler):
         except ValueError:
             pass
 
+    # repro: budget O(n)
     def select_task(self, kind: TaskKind, now: float) -> Optional[Task]:
         tracing = self.tracer.enabled
-        skipped = [] if tracing else None
+        if not tracing:
+            # Untraced micro-kernel: same walk, same decisions, but no
+            # skipped-list bookkeeping and no per-job property chains —
+            # the reduce probe reads the maintained plain flags directly
+            # (obtain_reduce re-checks them, so a hit stays correct).
+            if kind.uses_map_slot:
+                for jip in self._queue:  # repro: allow[DT203]
+                    if jip.completed or not jip.has_pending_maps:
+                        continue
+                    task = jip.obtain_map()
+                    if task is not None:
+                        return task
+            else:
+                for jip in self._queue:  # repro: allow[DT203]
+                    if jip.completed or not jip.map_phase_done or not jip._pending_reduces:
+                        continue
+                    task = jip.obtain_reduce()
+                    if task is not None:
+                        return task
+            return None
+        skipped = []
         for position, jip in enumerate(self._queue):
             if jip.completed:
                 continue
@@ -99,10 +120,39 @@ class FifoScheduler(WorkflowScheduler):
         have made one final, fruitless full walk.
         """
         tracing = self.tracer.enabled
+        use_map = kind.uses_map_slot
+        if not tracing:
+            # Untraced micro-kernel of the same single walk (see
+            # select_task): identical launch sequence, no trace payloads.
+            launched = 0
+            if use_map:
+                for jip in self._queue:  # repro: allow[DT203]
+                    if jip.completed or not jip.has_pending_maps:
+                        continue
+                    while launched < limit:
+                        task = jip.obtain_map()
+                        if task is None:
+                            break
+                        launch(task)  # repro: calls[repro.cluster.jobtracker.JobTracker._launch]
+                        launched += 1
+                    if launched >= limit:
+                        return launched
+            else:
+                for jip in self._queue:  # repro: allow[DT203]
+                    if jip.completed or not jip.map_phase_done or not jip._pending_reduces:
+                        continue
+                    while launched < limit:
+                        task = jip.obtain_reduce()
+                        if task is None:
+                            break
+                        launch(task)  # repro: calls[repro.cluster.jobtracker.JobTracker._launch]
+                        launched += 1
+                    if launched >= limit:
+                        return launched
+            return launched
         skipped: List[str] = []
         launched = 0
         queue_len = len(self._queue)
-        use_map = kind.uses_map_slot
         for position, jip in enumerate(self._queue):
             if jip.completed:
                 continue

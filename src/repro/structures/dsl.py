@@ -23,8 +23,7 @@ and negation turns "largest lag first" into the maps' ascending order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from repro.analysis.contracts import NULL_CONTRACTS
 from repro.structures.base import OrderedMap
@@ -33,31 +32,70 @@ from repro.structures.skiplist import DeterministicSkipList
 __all__ = ["DoubleEntry", "DoubleSkipList"]
 
 
-@dataclass
 class DoubleEntry:
-    """One workflow's node pair, shared by both lists."""
+    """One workflow's node pair, shared by both lists.
 
-    item_id: Any
-    ct: float
-    priority: float
-    payload: Any = None
+    ``ct_key``/``priority_key`` are *cached* tuples, not derived per read:
+    every comparison inside a skip-list walk touches them, so the hot path
+    pays a slot load instead of a property call plus tuple allocation.  The
+    ``ct``/``priority`` setters keep the caches coherent — which also
+    preserves the contract layer's corruption story: a test that assigns
+    ``entry.ct = x`` behind the list's back refreshes ``ct_key`` while the
+    list still files the entry under the old tuple, and the very next
+    ``check_dsl`` sees the mismatch.
+    """
+
+    __slots__ = ("item_id", "payload", "_ct", "_priority", "ct_key", "priority_key")
+
+    def __init__(self, item_id: Any, ct: float, priority: float, payload: Any = None) -> None:
+        self.item_id = item_id
+        self.payload = payload
+        self._ct = ct
+        self._priority = priority
+        self.ct_key: Tuple[float, Any] = (ct, item_id)
+        self.priority_key: Tuple[float, Any] = (-priority, item_id)
 
     @property
-    def ct_key(self) -> Tuple[float, Any]:
-        return (self.ct, self.item_id)
+    def ct(self) -> float:
+        return self._ct
+
+    @ct.setter
+    def ct(self, value: float) -> None:
+        self._ct = value
+        self.ct_key = (value, self.item_id)
 
     @property
-    def priority_key(self) -> Tuple[float, Any]:
-        return (-self.priority, self.item_id)
+    def priority(self) -> float:
+        return self._priority
+
+    @priority.setter
+    def priority(self, value: float) -> None:
+        self._priority = value
+        self.priority_key = (-value, self.item_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DoubleEntry({self.item_id!r}, ct={self._ct!r}, priority={self._priority!r})"
+        )
 
 
 class DoubleSkipList:
     """The two-index workflow queue of §IV-B."""
 
-    def __init__(self, map_factory: Callable[[], OrderedMap] = DeterministicSkipList) -> None:
+    def __init__(
+        self,
+        map_factory: Callable[[], OrderedMap] = DeterministicSkipList,
+        elide_noops: bool = True,
+    ) -> None:
         self._ct_list = map_factory()  # repro: calls[DeterministicSkipList, repro.structures.avl.AvlTree, repro.structures.naive.SortedListMap]
         self._priority_list = map_factory()  # repro: calls[DeterministicSkipList, repro.structures.avl.AvlTree, repro.structures.naive.SortedListMap]
         self._entries: Dict[Any, DoubleEntry] = {}
+        # With elision on (the default), the update paths skip the
+        # remove+reinsert churn when the new key equals the old one: the
+        # entry's position cannot change, so the structural dance is a
+        # provable no-op.  The flag exists so equivalence tests can run the
+        # same op sequence both ways and assert identical orders/traces.
+        self._elide = elide_noops
         # Runtime contract checker (repro.analysis.contracts); the null
         # singleton until one is attached, so every mutation pays exactly
         # one attribute read + branch when contracts are off.
@@ -139,7 +177,30 @@ class DoubleSkipList:
 
         This is the paper's cheap path: the ct deletion is a head deletion
         (O(1)); the reinsertion and the priority-list move are O(log n).
+        With elision on, each list is touched only when its key actually
+        changes — an unchanged key means an identical position, so the
+        remove+reinsert would be a structural no-op.
         """
+        if self._elide:
+            head = self._ct_list.peek_head()
+            if head is None:
+                raise KeyError("update_head_ct on empty DoubleSkipList")
+            entry: DoubleEntry = head[1]
+            ct_same = new_ct == entry._ct
+            priority_same = new_priority == entry._priority
+            if ct_same and priority_same:
+                return entry  # nothing moved: no churn, nothing to re-check
+            if not ct_same:
+                self._ct_list.pop_head()
+                entry.ct = new_ct
+                self._ct_list.insert(entry.ct_key, entry)
+            if not priority_same:
+                self._priority_list.delete(entry.priority_key)
+                entry.priority = new_priority
+                self._priority_list.insert(entry.priority_key, entry)
+            if self.contracts.enabled:
+                self.contracts.check_dsl(self)
+            return entry
         key, entry = self._ct_list.pop_head()
         assert key == entry.ct_key
         self._priority_list.delete(entry.priority_key)
@@ -157,9 +218,13 @@ class DoubleSkipList:
 
         Used after a task assignment (``rho += 1`` so the lag drops by one).
         When the workflow is the current priority head — the common case,
-        since assignments go to the head — the deletion is O(1).
+        since assignments go to the head — the deletion is O(1).  With
+        elision on, an unchanged priority returns immediately (the common
+        case for unplanned workflows, whose lag is pinned at -inf).
         """
         entry = self._entries[item_id]
+        if self._elide and new_priority == entry._priority:
+            return entry
         head = self._priority_list.peek_head()
         if head is not None and head[0] == entry.priority_key:
             self._priority_list.pop_head()
@@ -175,6 +240,8 @@ class DoubleSkipList:
     def update_ct(self, item_id: Any, new_ct: float) -> DoubleEntry:
         """Reposition one workflow in the ct list only."""
         entry = self._entries[item_id]
+        if self._elide and new_ct == entry._ct:
+            return entry
         self._ct_list.delete(entry.ct_key)
         entry.ct = new_ct
         self._ct_list.insert(entry.ct_key, entry)

@@ -93,18 +93,18 @@ class DeterministicSkipList(OrderedMap):
             new_head = _Node(None, right=self._tail, down=self._heads[-1])
             self._heads.append(new_head)
 
-    def _gap_nodes(self, upper: _Node, bound_key: Any, limit: int = 0) -> List[_Node]:
-        """Level-below nodes strictly between ``upper``'s tower and the tower
-        keyed ``bound_key``.  With ``limit``, stop collecting past it (the
-        caller only needs to know "more than 3")."""
-        nodes: List[_Node] = []
+    def _gap_size(self, upper: _Node, bound_key: Any, cap: int) -> int:
+        """Count level-below nodes strictly between ``upper``'s tower and the
+        tower keyed ``bound_key``, stopping at ``cap + 1`` — callers only ask
+        "at least / more than ``cap``", so no node list is materialised."""
+        count = 0
         node = upper.down.right
         while node.key != bound_key:
-            nodes.append(node)
-            if limit and len(nodes) > limit:
+            count += 1
+            if count > cap:
                 break
             node = node.right
-        return nodes
+        return count
 
     def _raise_middle(self, upper: _Node) -> _Node:
         """Raise the 2nd element of the gap right of ``upper`` one level up.
@@ -119,23 +119,28 @@ class DeterministicSkipList(OrderedMap):
 
     # -- OrderedMap API ------------------------------------------------------
 
+    # repro: budget O(log n)
     def insert(self, key: Any, value: Any) -> None:
         if key is None:
             raise TypeError("None is not a valid key")
         # A duplicate key may only be detected after the top-down pass has
         # already split a gap; splits are always structurally safe, but the
         # empty-top invariant must be restored even on the error path.
+        heads = self._heads
         try:
-            x = self._heads[-1]
-            level = len(self._heads) - 1
+            # Pre-bound level-walk: ``right`` shadows ``x.right`` so the
+            # rightward scan pays one attribute load per step, not two.
+            x = heads[-1]
+            level = len(heads) - 1
             while level > 0:
-                while x.right.key < key:
-                    x = x.right
-                if x.right.key == key:
+                right = x.right
+                while right.key < key:
+                    x = right
+                    right = x.right
+                if right.key == key:
                     raise KeyError(f"duplicate key {key!r}")
                 # Top-down split: never descend into a full gap.
-                gap = self._gap_nodes(x, x.right.key, limit=3)
-                if len(gap) >= 3:
+                if self._gap_size(x, right.key, cap=2) >= 3:
                     raised = self._raise_middle(x)
                     if raised.key < key:
                         x = raised
@@ -143,15 +148,18 @@ class DeterministicSkipList(OrderedMap):
                         raise KeyError(f"duplicate key {key!r}")
                 x = x.down
                 level -= 1
-            while x.right.key < key:
-                x = x.right
-            if x.right.key == key:
+            right = x.right
+            while right.key < key:
+                x = right
+                right = x.right
+            if right.key == key:
                 raise KeyError(f"duplicate key {key!r}")
-            x.right = _Node(key, value=value, right=x.right)
+            x.right = _Node(key, value=value, right=right)
             self._len += 1
         finally:
             self._grow_if_needed()
 
+    # repro: budget O(log n)
     def delete(self, key: Any) -> Any:
         preds = self._find_preds(key)
         victim = preds[0].right
@@ -160,7 +168,8 @@ class DeterministicSkipList(OrderedMap):
         value = victim.value
         # Unlink the whole tower.
         tower_top = 0
-        for level, pred in enumerate(preds):
+        # Loop over the tower height, which is O(log n_max), not O(n).
+        for level, pred in enumerate(preds):  # repro: allow[DT203]
             if pred.right.key == key:
                 pred.right = pred.right.right
                 tower_top = level
@@ -177,8 +186,7 @@ class DeterministicSkipList(OrderedMap):
             pred = preds[level] if level < len(preds) else self._heads[level]
             dirty_below = False
             while True:
-                gap = self._gap_nodes(pred, pred.right.key, limit=3)
-                if len(gap) <= 3:
+                if self._gap_size(pred, pred.right.key, cap=3) <= 3:
                     break
                 pred = self._raise_middle(pred)
                 dirty_below = True
@@ -189,11 +197,15 @@ class DeterministicSkipList(OrderedMap):
 
     def _find_preds(self, key: Any) -> List[_Node]:
         """Per-level strict predecessors of ``key``, bottom first."""
-        preds: List[_Node] = [None] * len(self._heads)
-        x = self._heads[-1]
-        for level in range(len(self._heads) - 1, -1, -1):
-            while x.right.key < key:
-                x = x.right
+        heads = self._heads
+        preds: List[_Node] = [None] * len(heads)
+        x = heads[-1]
+        # Descends one level per iteration: O(log n_max) iterations.
+        for level in range(len(heads) - 1, -1, -1):  # repro: allow[DT203]
+            right = x.right
+            while right.key < key:
+                x = right
+                right = x.right
             preds[level] = x
             if level > 0:
                 x = x.down
@@ -204,20 +216,23 @@ class DeterministicSkipList(OrderedMap):
         while len(self._heads) > 1 and self._heads[-1].right is self._tail and self._heads[-2].right is self._tail:
             self._heads.pop()
 
+    # repro: budget O(1)
     def peek_head(self) -> Optional[Tuple[Any, Any]]:
         first = self._heads[0].right
         if first is self._tail:
             return None
         return first.key, first.value
 
+    # repro: budget O(log n)
     def pop_head(self) -> Tuple[Any, Any]:
         first = self._heads[0].right
         if first is self._tail:
             raise KeyError("pop_head from empty skip list")
         key, value = first.key, first.value
         # The head tower is head.right at every level it reaches; its left
-        # gaps are all empty, so unlinking cannot oversize anything.
-        for head in self._heads:
+        # gaps are all empty, so unlinking cannot oversize anything.  One
+        # step per level: O(log n_max) iterations.
+        for head in self._heads:  # repro: allow[DT203]
             if head.right.key == key:
                 head.right = head.right.right
             else:
@@ -226,13 +241,18 @@ class DeterministicSkipList(OrderedMap):
         self._shrink()
         return key, value
 
+    # repro: budget O(log n)
     def find(self, key: Any) -> Any:
-        x = self._heads[-1]
-        for level in range(len(self._heads) - 1, -1, -1):
-            while x.right.key < key:
-                x = x.right
-            if x.right.key == key and level == 0:
-                return x.right.value
+        heads = self._heads
+        x = heads[-1]
+        # Descends one level per iteration: O(log n_max) iterations.
+        for level in range(len(heads) - 1, -1, -1):  # repro: allow[DT203]
+            right = x.right
+            while right.key < key:
+                x = right
+                right = x.right
+            if right.key == key and level == 0:
+                return right.value
             if level > 0:
                 x = x.down
         raise KeyError(key)

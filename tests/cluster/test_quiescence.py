@@ -141,8 +141,8 @@ class TestPickTrackerRing:
         jt.submit_workflow(diamond())  # eagerly launches a's maps + submit tasks
         for tracker in jt.trackers:
             bit = 1 << tracker.tracker_id
-            assert bool(jt._free_masks[True] & bit) == (tracker.free_map_slots > 0)
-            assert bool(jt._free_masks[False] & bit) == (tracker.free_reduce_slots > 0)
+            assert bool(jt._free_mask_map & bit) == (tracker.free_map_slots > 0)
+            assert bool(jt._free_mask_reduce & bit) == (tracker.free_reduce_slots > 0)
 
 
 class TestIncrementalBookkeeping:

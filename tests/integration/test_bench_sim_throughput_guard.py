@@ -65,3 +65,11 @@ def test_bench_emits_valid_json_with_expected_keys(tmp_path):
             assert scenario[key] > 0
         # Parking only ever removes events; it can never add any.
         assert scenario["fast_events"] <= scenario["reference_events"]
+        # The per-event costs must be the inverse of the event rates (both
+        # are derived from the same wall/events pair, rounding aside).
+        assert scenario["reference_us_per_event"] > 0
+        assert scenario["fast_us_per_event"] > 0
+        ref_rate_us = 1e6 / scenario["reference_events_per_sec"]
+        fast_rate_us = 1e6 / scenario["fast_events_per_sec"]
+        assert abs(scenario["reference_us_per_event"] - ref_rate_us) < 0.01 * ref_rate_us + 0.01
+        assert abs(scenario["fast_us_per_event"] - fast_rate_us) < 0.01 * fast_rate_us + 0.01

@@ -159,6 +159,30 @@ class TestLintCommand:
         assert "file(s) checked" in captured.out
 
 
+class TestProfileCommand:
+    def test_smoke_renders_top_table_and_exits_zero(self, capsys):
+        assert main(["profile", "--scenario", "periodic", "--scale", "0.1",
+                     "--nodes", "2", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: scenario=periodic" in out
+        assert "path=fast" in out
+        assert "µs/event" in out
+        assert "top 5 by cumulative time" in out
+        # The hot-spot table names actual simulator internals.
+        assert "events=" in out and "wall=" in out
+
+    def test_reference_path_and_tottime_sort(self, capsys):
+        assert main(["profile", "--scenario", "yahoo", "--scale", "0.05",
+                     "--reference", "--sort", "tottime", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "path=reference" in out
+        assert "top 3 by internal time" in out
+
+    def test_bad_top_errors(self, capsys):
+        assert main(["profile", "--top", "0"]) == 2
+        assert "--top must be positive" in capsys.readouterr().err
+
+
 class TestCallgraphCommand:
     def test_dot_on_stdout_defaults_to_package_tree(self, capsys):
         assert main(["callgraph"]) == 0
