@@ -5,16 +5,19 @@ Three layers of one guarantee:
 * :mod:`repro.analysis.rules` / :mod:`repro.analysis.engine` — an AST lint
   that statically rejects determinism hazards (rule ids ``DT101``-``DT107``)
   in the scheduler's decision paths.  CLI: ``repro lint``.
-* :mod:`repro.analysis.callgraph` / :mod:`repro.analysis.interproc` — the
-  whole-program pass (``DT201``-``DT204``): nondeterminism taint along the
-  call graph, dynamic-call holes and §IV complexity budgets.  CLI:
-  ``repro lint --interproc`` and ``repro callgraph``.
+* :mod:`repro.analysis.callgraph` / :mod:`repro.analysis.interproc` /
+  :mod:`repro.analysis.dataflow` — the whole-program pass
+  (``DT201``-``DT305``): nondeterminism taint along the call graph,
+  dynamic-call holes, §IV complexity budgets, and the flow-sensitive
+  dataflow rules (fork-shared state, pool picklability, exception
+  atomicity, stale suppressions, simulated-time purity; DESIGN.md §13).
+  CLI: ``repro lint --interproc`` and ``repro callgraph``.
 * :mod:`repro.analysis.contracts` — runtime checkers asserting the DSL
   cross-link, skip-list level monotonicity, Algorithm 1 plan monotonicity
   and prerequisite-respecting dispatch, zero-cost when disabled.
 """
 
-from repro.analysis.annotations import decision_path, hot_path
+from repro.analysis.annotations import decision_path, entrypoint, hot_path
 from repro.analysis.contracts import (
     NULL_CONTRACTS,
     ContractChecker,
@@ -40,6 +43,7 @@ __all__ = [
     "LintError",
     "LintReport",
     "decision_path",
+    "entrypoint",
     "hot_path",
     "lint_paths",
     "lint_source",

@@ -25,8 +25,11 @@ from typing import Callable, Dict, TypeVar
 
 __all__ = [
     "decision_path",
+    "entrypoint",
     "hot_path",
     "DECISION_PATH_REGISTRY",
+    "ENTRYPOINT_KINDS",
+    "ENTRYPOINT_REGISTRY",
     "HOT_PATH_REGISTRY_RUNTIME",
 ]
 
@@ -37,6 +40,12 @@ DECISION_PATH_REGISTRY: Dict[str, Callable] = {}
 
 #: ``module.qualname`` -> function, for every ``@hot_path`` target.
 HOT_PATH_REGISTRY_RUNTIME: Dict[str, Callable] = {}
+
+#: The boundary kinds an entry point may declare.
+ENTRYPOINT_KINDS = ("fork", "service")
+
+#: ``module.qualname`` -> kind, for every ``@entrypoint(...)`` target.
+ENTRYPOINT_REGISTRY: Dict[str, str] = {}
 
 
 def _register(registry: Dict[str, Callable], fn: Callable) -> None:
@@ -64,3 +73,24 @@ def hot_path(fn: _F) -> _F:
     fn.__repro_hot_path__ = True  # type: ignore[attr-defined]
     _register(HOT_PATH_REGISTRY_RUNTIME, fn)
     return fn
+
+
+def entrypoint(kind: str) -> Callable[[_F], _F]:
+    """Mark ``fn`` as a concurrency boundary for the dataflow pass (DT301).
+
+    ``kind`` is ``"fork"`` (a ``multiprocessing`` pool worker — everything
+    reachable from it runs in a forked child, so module/class-level mutable
+    writes diverge from the parent silently) or ``"service"`` (a request
+    handler serving concurrent tenants over shared process state).  The
+    comment form ``# repro: entrypoint[fork]`` on (or directly above) the
+    ``def`` line is equivalent and keeps annotated modules import-free.
+    """
+    if kind not in ENTRYPOINT_KINDS:
+        raise ValueError(f"entrypoint kind must be one of {ENTRYPOINT_KINDS}, got {kind!r}")
+
+    def mark(fn: _F) -> _F:
+        fn.__repro_entrypoint__ = kind  # type: ignore[attr-defined]
+        ENTRYPOINT_REGISTRY[f"{fn.__module__}.{fn.__qualname__}"] = kind
+        return fn
+
+    return mark

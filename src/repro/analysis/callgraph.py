@@ -69,6 +69,7 @@ BUDGET_GRAMMAR: Tuple[str, ...] = ("O(1)", "O(log n)", "O(n)")
 _BUDGET_RE = re.compile(r"#\s*repro:\s*budget\s+(O\((?:1|log n|n)\))")
 _HOT_PATH_RE = re.compile(r"#\s*repro:\s*hot-path\b")
 _CALLS_RE = re.compile(r"#\s*repro:\s*calls\[([^\]]*)\]")
+_ENTRYPOINT_RE = re.compile(r"#\s*repro:\s*entrypoint\[(fork|service)\]")
 
 #: Names callable without producing an edge (Python builtins and friends).
 _BUILTINS = frozenset(
@@ -104,6 +105,7 @@ class FunctionInfo:
     budget: Optional[str] = None
     node: Optional[ast.AST] = field(default=None, repr=False, compare=False)
     owner_class: Optional[str] = None  # owning class name, methods only
+    entrypoint: Optional[str] = None  # "fork" | "service" boundary kind
 
     @property
     def budget_rank(self) -> Optional[int]:
@@ -158,6 +160,7 @@ class ModuleInfo:
     budget_lines: Dict[int, str] = field(default_factory=dict)
     hot_lines: Set[int] = field(default_factory=set)
     calls_lines: Dict[int, List[str]] = field(default_factory=dict)
+    entry_lines: Dict[int, str] = field(default_factory=dict)  # line -> kind
 
 
 class CallGraph:
@@ -210,6 +213,7 @@ class CallGraph:
                     "decision_path": fn.decision_path,
                     "hot_path": fn.hot_path,
                     "budget": fn.budget,
+                    "entrypoint": fn.entrypoint,
                 }
                 for _, fn in sorted(self.functions.items())
             ],
@@ -274,9 +278,10 @@ def _dotted_module_name(key: str) -> str:
     return trimmed.replace("/", ".")
 
 
-def _decorator_marks(node: ast.AST) -> Tuple[bool, bool]:
-    """(decision_path, hot_path) flags from a def's decorator list."""
+def _decorator_marks(node: ast.AST) -> Tuple[bool, bool, Optional[str]]:
+    """(decision_path, hot_path, entrypoint kind) from a def's decorators."""
     decision = hot = False
+    entry: Optional[str] = None
     for dec in getattr(node, "decorator_list", []):
         target = dec.func if isinstance(dec, ast.Call) else dec
         ident = target.attr if isinstance(target, ast.Attribute) else (
@@ -286,7 +291,11 @@ def _decorator_marks(node: ast.AST) -> Tuple[bool, bool]:
             decision = True
         elif ident == "hot_path":
             hot = True
-    return decision, hot
+        elif ident == "entrypoint" and isinstance(dec, ast.Call) and dec.args:
+            arg = dec.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                entry = arg.value
+    return decision, hot, entry
 
 
 def _ref_string(node: ast.AST) -> Optional[str]:
@@ -337,9 +346,12 @@ def _index_module(key: str, source: str, tree: ast.AST) -> ModuleInfo:
         if calls is not None:
             targets = [t.strip() for t in calls.group(1).split(",") if t.strip()]
             info.calls_lines[lineno] = targets
+        entry = _ENTRYPOINT_RE.search(line)
+        if entry is not None:
+            info.entry_lines[lineno] = entry.group(1)
 
     def add_function(node: ast.AST, name: str, owner: Optional[str]) -> FunctionInfo:
-        decision, hot = _decorator_marks(node)
+        decision, hot, entry = _decorator_marks(node)
         fn = FunctionInfo(
             qualname=f"{key}::{name}",
             module=key,
@@ -352,6 +364,9 @@ def _index_module(key: str, source: str, tree: ast.AST) -> ModuleInfo:
             or info.budget_lines.get(node.lineno - 1),
             node=node,
             owner_class=owner,
+            entrypoint=entry
+            or info.entry_lines.get(node.lineno)
+            or info.entry_lines.get(node.lineno - 1),
         )
         if not fn.hot_path:
             fn.hot_path = bool(

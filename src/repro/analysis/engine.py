@@ -89,6 +89,45 @@ class LintReport:
         lines.append(summary)
         return "\n".join(lines)
 
+    def to_json_payload(self, verbose: bool = False) -> Dict[str, object]:
+        """Stable machine-readable view (``lint --format json``).
+
+        Records are sorted by (module, line, rule, message) and carry only
+        plain scalars, so ``json.dumps(..., sort_keys=True)`` of this
+        payload is byte-stable for a given tree state.  ``verbose`` adds
+        the suppressed/baselined record lists; their counts are always
+        present.
+        """
+        def records(violations: List[Violation]) -> List[Dict[str, object]]:
+            return [
+                {
+                    "module": v.path,
+                    "rule": v.rule,
+                    "line": v.line,
+                    "col": v.col,
+                    "message": v.message,
+                }
+                for v in sorted(
+                    violations, key=lambda v: (v.path, v.line, v.rule, v.message)
+                )
+            ]
+
+        payload: Dict[str, object] = {
+            "clean": self.clean,
+            "files_checked": self.files_checked,
+            "violations": records(self.violations),
+            "suppressed_count": len(self.suppressed),
+            "baselined_count": len(self.baselined),
+            "stale_baseline": [
+                {"module": path, "rule": rule, "count": count}
+                for path, rule, count in self.stale_baseline
+            ],
+        }
+        if verbose:
+            payload["suppressed"] = records(self.suppressed)
+            payload["baselined"] = records(self.baselined)
+        return payload
+
 
 def module_key(path: "str | Path") -> str:
     """Stable identifier for a file: the path from the ``repro`` package
@@ -278,11 +317,15 @@ def lint_paths(
         lint_source(source, file_path, baseline=baseline, report=report, tree=tree)
     if interproc:
         from repro.analysis.callgraph import build_call_graph
-        from repro.analysis.interproc import analyze_graph
+        from repro.analysis.dataflow import (
+            analyze_dataflow,
+            stale_suppression_violations,
+        )
+        from repro.analysis.interproc import analyze_graph, seed_allow_uses
 
         graph = build_call_graph(parsed)
         by_module: Dict[str, List[Violation]] = {}
-        for violation in analyze_graph(graph):
+        for violation in analyze_graph(graph) + analyze_dataflow(graph):
             by_module.setdefault(violation.path, []).append(violation)
         for key in sorted(by_module):
             if selected is not None and key not in selected:
@@ -291,6 +334,26 @@ def lint_paths(
             _filter_violations(
                 by_module[key], key, inline_allows(source), baseline, report
             )
+        # DT304 runs last: it needs the final suppression ledger (every
+        # allow that earned its keep above) plus the allows consumed by
+        # the taint-seed filter.  Skipped under --diff: a partial run
+        # cannot tell a stale allow from one whose rule was not re-run.
+        if selected is None:
+            used: Dict[str, set] = {}
+            for violation in report.suppressed:
+                used.setdefault(violation.path, set()).add(
+                    (violation.line, violation.rule)
+                )
+            for key, mod in graph.modules.items():
+                used.setdefault(key, set()).update(seed_allow_uses(mod))
+            stale: Dict[str, List[Violation]] = {}
+            for violation in stale_suppression_violations(graph, used):
+                stale.setdefault(violation.path, []).append(violation)
+            for key in sorted(stale):
+                source = parsed[key][0]
+                _filter_violations(
+                    stale[key], key, inline_allows(source), baseline, report
+                )
     if baseline and selected is None:
         report.stale_baseline = sorted(
             (key, rule, count) for (key, rule), count in baseline.items() if count > 0

@@ -66,6 +66,7 @@ __all__ = [
     "INTERPROC_RULES",
     "TaintSeed",
     "analyze_graph",
+    "seed_allow_uses",
 ]
 
 #: The rule ids this pass owns (registered in ``rules.RULES``).
@@ -215,6 +216,28 @@ class _EnvFsSeedVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _seed_candidates(mod: ModuleInfo) -> List[Tuple[TaintSeed, Optional[str]]]:
+    """Every candidate seed paired with the intra rule id that produced it
+    (``None`` for the env/filesystem sources no intra rule covers)."""
+    raw = scan_module(
+        mod.tree,
+        path=mod.key,
+        decision_path=True,
+        randomness_allowed=mod.randomness_allowed,
+    )
+    found: List[Tuple[TaintSeed, Optional[str]]] = [
+        (TaintSeed(mod.key, v.line, _SEED_LABELS[v.rule]), v.rule)
+        for v in raw
+        if v.rule in _SEED_RULES
+    ]
+    env_fs = _EnvFsSeedVisitor()
+    env_fs.visit(mod.tree)
+    found.extend(
+        (TaintSeed(mod.key, line, desc), None) for line, desc in env_fs.seeds
+    )
+    return sorted(set(found), key=lambda pair: (pair[0].line, pair[0].description))
+
+
 def _collect_seeds(mod: ModuleInfo) -> List[TaintSeed]:
     """Every nondeterminism source in one module, wherever it lives.
 
@@ -223,32 +246,33 @@ def _collect_seeds(mod: ModuleInfo) -> List[TaintSeed]:
     sources sit outside decision paths.  Lines carrying an inline allow
     for the seed's rule (or DT201, or ``*``) are trusted and not seeded.
     """
-    raw = scan_module(
-        mod.tree,
-        path=mod.key,
-        decision_path=True,
-        randomness_allowed=mod.randomness_allowed,
-    )
-    found: List[TaintSeed] = [
-        TaintSeed(mod.key, v.line, _SEED_LABELS[v.rule])
-        for v in raw
-        if v.rule in _SEED_RULES
-    ]
-    env_fs = _EnvFsSeedVisitor()
-    env_fs.visit(mod.tree)
-    found.extend(TaintSeed(mod.key, line, desc) for line, desc in env_fs.seeds)
     allows = inline_allows(mod.source)
     kept = []
-    for seed in sorted(set(found), key=lambda s: (s.line, s.description)):
+    for seed, rule in _seed_candidates(mod):
         allowed = allows.get(seed.line, ())
-        rule = next(
-            (r for r, label in _SEED_LABELS.items() if label == seed.description),
-            None,
-        )
-        if "*" in allowed or "DT201" in allowed or rule in allowed:
+        if "*" in allowed or "DT201" in allowed or (rule is not None and rule in allowed):
             continue
         kept.append(seed)
     return kept
+
+
+def seed_allow_uses(mod: ModuleInfo) -> Set[Tuple[int, str]]:
+    """``(line, rule-id)`` pairs of inline allows that suppressed a taint
+    seed on that line.
+
+    These allows consume a seed without ever producing a suppressed
+    :class:`Violation` (the seed simply never enters the taint lattice),
+    so the stale-suppression rule (DT304 in
+    :mod:`repro.analysis.dataflow`) must credit them through this hook
+    rather than through the engine's suppression ledger.
+    """
+    allows = inline_allows(mod.source)
+    used: Set[Tuple[int, str]] = set()
+    for seed, rule in _seed_candidates(mod):
+        for rid in allows.get(seed.line, ()):
+            if rid in ("*", "DT201") or (rule is not None and rid == rule):
+                used.add((seed.line, rid))
+    return used
 
 
 # -- taint propagation ---------------------------------------------------------
@@ -303,9 +327,12 @@ def _bounded(node: ast.AST) -> bool:
 
 
 def _iter_snippet(node: ast.AST) -> str:
+    # ast.unparse raises ValueError on nodes it cannot render and can
+    # recurse past the limit on pathologically deep expressions; anything
+    # else should surface, not be swallowed.
     try:
         text = ast.unparse(node)
-    except Exception:  # pragma: no cover - unparse failure on exotic nodes
+    except (ValueError, RecursionError):  # pragma: no cover - exotic nodes
         return "<expression>"
     return text if len(text) <= 40 else text[:37] + "..."
 

@@ -57,8 +57,10 @@ Rule catalog (see DESIGN.md §8 for the full rationale):
     history-dependent; decisions must not hang off it.)
 
 Rules DT201-DT204 are the *interprocedural* pass (``lint --interproc``);
-they live in :mod:`repro.analysis.interproc` but are registered here so
-the baseline parser and the CLI catalog know them.
+they live in :mod:`repro.analysis.interproc`.  Rules DT301-DT305 are the
+*flow-sensitive dataflow* pass layered on the same call graph; they live
+in :mod:`repro.analysis.dataflow`.  Both are registered here so the
+baseline parser and the CLI catalog know them.
 """
 
 from __future__ import annotations
@@ -97,6 +99,11 @@ RULES: Dict[str, str] = {
     "DT202": "unresolved dynamic call inside a decision-path function (annotate with `# repro: calls[...]`)",
     "DT203": "work exceeding the caller's declared complexity budget (`# repro: budget O(...)`)",
     "DT204": "hot-path function without a declared complexity budget",
+    "DT301": "module/class-level mutable state written on a path reachable from a fork/service entrypoint",
+    "DT302": "unpicklable callable (lambda, closure, bound method) crossing the multiprocessing Pool boundary",
+    "DT303": "paired mutations of contract-protected state span a may-raise operation, or a broad except swallows ContractError",
+    "DT304": "stale suppression: an allow[...]/calls[...]/budget directive that no longer suppresses or declares anything",
+    "DT305": "wall-clock or OS-entropy value compared or added to a simulated-time expression",
 }
 
 #: Package sub-directories whose modules take scheduling decisions.  Set

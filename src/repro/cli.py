@@ -147,7 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--verbose", action="store_true",
                       help="also list suppressed and baselined violations")
     lint.add_argument("--interproc", action="store_true",
-                      help="also run the whole-program taint/budget pass (DT201-DT204)")
+                      help="also run the whole-program taint/budget/dataflow "
+                           "passes (DT201-DT204, DT301-DT305)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format; json emits stable sort-keyed records "
+                           "for CI and --diff consumers (default: text)")
     lint.add_argument("--diff", metavar="REF",
                       help="report only files changed versus the given git ref "
                            "(the whole tree is still parsed; falls back to a "
@@ -314,9 +318,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except (LintError, OSError) as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
-    output = report.render(verbose=args.verbose)
-    if output:
-        print(output)
+    if args.format == "json":
+        payload = report.to_json_payload(verbose=args.verbose)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        output = report.render(verbose=args.verbose)
+        if output:
+            print(output)
     # A stale baseline also fails: entries must be deleted as code gets
     # fixed, so the budget only ever shrinks.
     return 0 if report.clean and not report.stale_baseline else 1

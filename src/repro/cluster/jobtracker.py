@@ -258,7 +258,7 @@ class JobTracker:
         # per-hook bound-method lists are built once in add_listener so
         # dispatch does no per-event getattr probing.
         for fn in self._hook_listeners[hook]:  # repro: allow[DT203]
-            fn(*args)  # repro: allow[DT202]
+            fn(*args)
 
     # -- cluster introspection ----------------------------------------------
 

@@ -123,9 +123,12 @@ class PlanCache:
             self.hits += 1
             self.tracer.incr(self.COUNTER_SCOPE, "hits")
             return entry
+        # Build *before* touching counters or the table (DT303): if
+        # ``build`` raises, the cache must look exactly as it did before
+        # the lookup — no phantom miss, no dangling entry.
+        entry = build()  # repro: calls[repro.core.client._plan_entry]
         self.misses += 1
         self.tracer.incr(self.COUNTER_SCOPE, "misses")
-        entry = build()  # repro: calls[repro.core.client._plan_entry]
         self._entries[key] = entry
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)

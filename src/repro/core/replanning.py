@@ -132,10 +132,10 @@ class ReplanningWohaScheduler(WohaScheduler):
         name = record.wip.name
         if now - self._last_replan.get(name, float("-inf")) < self.cooldown:
             return
-        self._last_replan[name] = now
         remaining_time = record.wip.deadline - now
         residual = residual_workflow(record.wip)
         if residual is None or remaining_time <= 0:
+            self._last_replan[name] = now
             return
         # What a client would compute for this shape with this much time.
         total_slots = self.jobtracker.total_slots if self.jobtracker is not None else 1
@@ -151,9 +151,13 @@ class ReplanningWohaScheduler(WohaScheduler):
             # (infeasible plans carry -inf lag priority), guaranteeing it
             # misses by more than if it keeps pushing on its stale plan —
             # so keep the stale plan's scheduling pressure.  The cooldown
-            # stamp above still spaces out re-evaluations.
+            # stamp still spaces out re-evaluations.
+            self._last_replan[name] = now
             return
         record.install_plan(plan, now)
+        # All may-raise work (residual extraction, planning, install) is
+        # done; commit the scheduler-side bookkeeping as one unit (DT303).
+        self._last_replan[name] = now
         self.replans += 1
         # Reposition under the new keys.
         self._queue.remove(name)

@@ -151,7 +151,7 @@ def _pick_task_in_workflow(record: _WorkflowRecord, kind: TaskKind) -> Optional[
     # Bounded by the job count of ONE workflow (paper's n per-workflow
     # topology size), not by the queue length n_w the budgets govern.
     if uses_map:
-        for name, jip in wip._active_jobs.items():  # repro: allow[DT203]
+        for name, jip in wip._active_jobs.items():
             if not jip.has_pending_maps:
                 continue
             rank = rank_of.get(name, default_rank)
@@ -160,7 +160,7 @@ def _pick_task_in_workflow(record: _WorkflowRecord, kind: TaskKind) -> Optional[
         if best is None:
             return None
         return best.obtain_map()
-    for name, jip in wip._active_jobs.items():  # repro: allow[DT203]
+    for name, jip in wip._active_jobs.items():
         if not jip.map_phase_done or not jip._pending_reduces:
             continue
         rank = rank_of.get(name, default_rank)

@@ -211,7 +211,7 @@ class Simulator:
         pop = heapq.heappop
         fired = 0
         try:
-            while queue:  # repro: allow[DT203]
+            while queue:
                 time, _seq, handle = queue[0]
                 if handle._cancelled:
                     pop(queue)
@@ -225,7 +225,7 @@ class Simulator:
                 handle._fired = True
                 self._live -= 1
                 self._processed += 1
-                handle.callback(*handle.args)  # repro: allow[DT202]
+                handle.callback(*handle.args)
                 fired += 1
                 if self._stop:
                     break

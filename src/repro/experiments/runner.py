@@ -180,8 +180,16 @@ def _make_stack(name: str):
     return WohaScheduler(), "woha", make_planner(prioritizer)
 
 
+# repro: entrypoint[fork]
 def run_cell(cell: ExperimentCell, batched_assignment: bool = False) -> CellResult:
-    """Run one cell to completion (module-level, hence pool-picklable)."""
+    """Run one cell to completion (module-level, hence pool-picklable).
+
+    Declared a fork entry point: everything reachable from here runs in a
+    pool worker, so the DT301 dataflow rule rejects writes to module or
+    class-level mutable state on any path below this function — workers
+    must regenerate state from the cell key (the per-shard regeneration
+    pattern, DESIGN.md §11), never share it with the parent.
+    """
     workflows, outages = SCENARIOS[cell.scenario](shard_seed(cell), cell.scale)
     scheduler, mode, planner = _make_stack(cell.scheduler)
     config = ClusterConfig(
@@ -203,6 +211,7 @@ def run_cell(cell: ExperimentCell, batched_assignment: bool = False) -> CellResu
     )
 
 
+# repro: entrypoint[fork]
 def _run_cell_batched(cell: ExperimentCell) -> CellResult:
     return run_cell(cell, batched_assignment=True)
 

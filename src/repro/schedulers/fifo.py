@@ -46,14 +46,14 @@ class FifoScheduler(WorkflowScheduler):
             # the reduce probe reads the maintained plain flags directly
             # (obtain_reduce re-checks them, so a hit stays correct).
             if kind.uses_map_slot:
-                for jip in self._queue:  # repro: allow[DT203]
+                for jip in self._queue:
                     if jip.completed or not jip.has_pending_maps:
                         continue
                     task = jip.obtain_map()
                     if task is not None:
                         return task
             else:
-                for jip in self._queue:  # repro: allow[DT203]
+                for jip in self._queue:
                     if jip.completed or not jip.map_phase_done or not jip._pending_reduces:
                         continue
                     task = jip.obtain_reduce()
@@ -126,7 +126,7 @@ class FifoScheduler(WorkflowScheduler):
             # select_task): identical launch sequence, no trace payloads.
             launched = 0
             if use_map:
-                for jip in self._queue:  # repro: allow[DT203]
+                for jip in self._queue:
                     if jip.completed or not jip.has_pending_maps:
                         continue
                     while launched < limit:
@@ -138,7 +138,7 @@ class FifoScheduler(WorkflowScheduler):
                     if launched >= limit:
                         return launched
             else:
-                for jip in self._queue:  # repro: allow[DT203]
+                for jip in self._queue:
                     if jip.completed or not jip.map_phase_done or not jip._pending_reduces:
                         continue
                     while launched < limit:

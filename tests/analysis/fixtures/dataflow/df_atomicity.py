@@ -1,0 +1,28 @@
+# repro: decision-path
+"""Fixture: DT303 — a may-raise call between paired mutations."""
+
+
+class QueueState:
+    def __init__(self):
+        self.entries = {}
+        self.count = 0
+
+
+def _parse(token):
+    if not token:
+        raise ValueError("empty token")
+    return token
+
+
+def ingest(state, token):
+    state.count += 1
+    value = _parse(token)
+    state.entries[token] = value
+    return value
+
+
+def ingest_atomic(state, token):
+    value = _parse(token)
+    state.count += 1
+    state.entries[token] = value
+    return value

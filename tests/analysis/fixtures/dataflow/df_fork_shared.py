@@ -1,0 +1,20 @@
+"""Fixture: DT301 — pool-reachable write to module-level mutable state."""
+
+_CACHE = {}
+
+
+def _record(key, value):
+    _CACHE[key] = value
+
+
+# repro: entrypoint[fork]
+def run_shard(key):
+    _record(key, 1)
+    return key
+
+
+# repro: entrypoint[fork]
+def run_regenerated(key):
+    local = {}
+    local[key] = 1
+    return local

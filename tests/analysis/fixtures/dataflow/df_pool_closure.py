@@ -1,0 +1,20 @@
+"""Fixture: DT302 — a closure crossing the Pool boundary."""
+
+import multiprocessing
+
+
+def shard(cell):
+    return cell * 2
+
+
+def fan_out(cells, bias):
+    def _worker(cell):
+        return shard(cell) + bias
+
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(_worker, cells)
+
+
+def fan_out_module_level(cells):
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(shard, cells)

@@ -1,0 +1,11 @@
+"""Fixture: DT304 — one live suppression, one stale one."""
+
+import time
+
+
+def stamp():
+    return time.time()  # repro: allow[DT102]
+
+
+def plain(values):
+    return sorted(values)  # repro: allow[DT101]

@@ -1,0 +1,16 @@
+# repro: randomness-ok
+"""Fixture: DT305 — a wall-clock value leaking into simulated time."""
+
+import time
+
+
+def lagged(now):
+    stamp = time.time()
+    return stamp - now
+
+
+def bench_timing(now):
+    start = time.perf_counter()
+    elapsed = time.perf_counter() - start
+    sim_elapsed = now + 1.0
+    return elapsed, sim_elapsed

@@ -37,6 +37,43 @@ def test_wildcard_and_comma_list_suppressions():
     assert lint_source(listed, "repro/core/x.py").clean
 
 
+def test_comma_list_suppression_records_every_rule():
+    source = (
+        "import time\n"
+        "def f(deadline):\n"
+        "    return time.time() == deadline  # repro: allow[DT102, DT103]\n"
+    )
+    report = lint_source(source, "repro/core/x.py")
+    assert report.clean
+    assert sorted(v.rule for v in report.suppressed) == ["DT102", "DT103"]
+
+
+def test_allow_on_decorator_line_does_not_cover_the_def(tmp_path):
+    # Suppressions are strictly line-anchored: an allow on the decorator
+    # line neither silences the def-line violation nor counts as used —
+    # DT304 reports it stale in the same run.
+    (tmp_path / "m.py").write_text(
+        "from repro.analysis.annotations import hot_path\n\n"
+        "@hot_path  # repro: allow[DT204]\n"
+        "def pick(q):\n"
+        "    return q\n"
+    )
+    report = lint_paths([tmp_path], interproc=True)
+    assert sorted(v.rule for v in report.violations) == ["DT204", "DT304"]
+
+
+def test_allow_on_the_def_line_covers_a_decorated_def(tmp_path):
+    (tmp_path / "m.py").write_text(
+        "from repro.analysis.annotations import hot_path\n\n"
+        "@hot_path\n"
+        "def pick(q):  # repro: allow[DT204]\n"
+        "    return q\n"
+    )
+    report = lint_paths([tmp_path], interproc=True)
+    assert report.clean
+    assert [v.rule for v in report.suppressed] == ["DT204"]
+
+
 # -- baselines ----------------------------------------------------------------
 
 

@@ -11,6 +11,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import RULES, lint_paths, lint_source
+from repro.analysis.dataflow import DATAFLOW_RULES
 from repro.analysis.interproc import INTERPROC_RULES
 from repro.cli import main as cli_main
 
@@ -35,11 +36,25 @@ INTERPROC_FIXTURES = {
     "DT204": "interproc/ip_hot.py",
 }
 
+#: The dataflow rules' fixtures live in ``fixtures/dataflow/`` and are
+#: exercised (whole-corpus, ``interproc=True``) by test_dataflow.py.
+DATAFLOW_FIXTURES = {
+    "DT301": "dataflow/df_fork_shared.py",
+    "DT302": "dataflow/df_pool_closure.py",
+    "DT303": "dataflow/df_atomicity.py",
+    "DT304": "dataflow/df_stale_allow.py",
+    "DT305": "dataflow/df_wallclock_taint.py",
+}
+
 
 def test_every_rule_has_a_fixture():
-    assert set(RULE_FIXTURES) | set(INTERPROC_FIXTURES) == set(RULES)
+    assert (
+        set(RULE_FIXTURES) | set(INTERPROC_FIXTURES) | set(DATAFLOW_FIXTURES)
+        == set(RULES)
+    )
     assert set(INTERPROC_FIXTURES) == set(INTERPROC_RULES)
-    for rel in INTERPROC_FIXTURES.values():
+    assert set(DATAFLOW_FIXTURES) == set(DATAFLOW_RULES)
+    for rel in (*INTERPROC_FIXTURES.values(), *DATAFLOW_FIXTURES.values()):
         assert (FIXTURES / rel).is_file(), rel
 
 

@@ -61,6 +61,20 @@ class TestAccounting:
         counters = tracer.counter_table()["plan_cache"]
         assert counters == {"hits": 1, "misses": 2, "evictions": 1}
 
+    def test_raising_build_leaves_cache_untouched(self):
+        # DT303 regression: a planner that raises mid-build must not leave
+        # a phantom miss count or a dangling entry behind.
+        cache = PlanCache()
+        w = diamond()
+
+        def explode():
+            raise RuntimeError("planner blew up")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_build(w, ("extract",), 24, ("lpf",), explode)
+        assert (len(cache), cache.hits, cache.misses, cache.evictions) == (0, 0, 0, 0)
+        assert cache.counter_table()["plan_cache"]["misses"] == 0
+
     def test_clear_resets(self):
         cache = PlanCache()
         planner = make_planner("lpf", plan_cache=cache)

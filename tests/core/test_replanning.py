@@ -139,6 +139,33 @@ class TestReplanningScheduler:
         # Only the feasible regenerations were installed (counted).
         assert scheduler.replans == sum(1 for f in produced if f) == 1
 
+    def test_raising_residual_extraction_leaves_bookkeeping_untouched(self, monkeypatch):
+        """DT303 regression: if residual extraction blows up mid-replan,
+        no cooldown stamp or replan count may survive the failed attempt."""
+        import repro.core.replanning as replanning_module
+
+        class Boom(Exception):
+            pass
+
+        def exploding_residual(wip):
+            raise Boom("residual extraction failed")
+
+        monkeypatch.setattr(replanning_module, "residual_workflow", exploding_residual)
+        scheduler = ReplanningWohaScheduler(min_lag=5, lag_fraction=0.05, cooldown=30.0)
+        sim = build_sim(scheduler, sigma=0.8)
+        wf = (
+            WorkflowBuilder("w")
+            .job("a", maps=10, reduces=3, map_s=10, reduce_s=20)
+            .job("b", maps=10, reduces=3, map_s=10, reduce_s=20, after=["a"])
+            .deadline(relative=300)
+            .build()
+        )
+        sim.add_workflow(wf)
+        with pytest.raises(Boom):
+            sim.run()
+        assert scheduler.replans == 0
+        assert scheduler._last_replan == {}
+
     def test_same_decisions_as_plain_without_triggers(self, small_workflow):
         plain_sim = build_sim(WohaScheduler())
         plain_sim.add_workflow(small_workflow)

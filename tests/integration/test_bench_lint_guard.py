@@ -9,7 +9,11 @@ the same arrangement as ``test_bench_plan_throughput_guard``.
 import json
 from pathlib import Path
 
-from benchmarks.bench_lint_speed import BUDGET_SECONDS, run_bench
+from benchmarks.bench_lint_speed import (
+    BUDGET_SECONDS,
+    INTERPROC_BUDGET_SECONDS,
+    run_bench,
+)
 
 FIXTURES = Path(__file__).resolve().parent.parent / "analysis" / "fixtures"
 
@@ -26,3 +30,17 @@ def test_bench_payload_shape_on_toy_corpus(tmp_path):
     assert payload["best_seconds"] > 0
     assert payload["files_per_sec"] > 0
     assert payload["budget_seconds"] == BUDGET_SECONDS
+
+
+def test_bench_interproc_payload_shape_on_toy_corpus(tmp_path):
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("")
+    payload = run_bench(
+        paths=[FIXTURES], baseline=baseline, repeats=1, interproc=True
+    )
+
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["bench"] == "lint_speed_interproc"
+    # The whole-program pass adds the DT2xx/DT3xx corpus findings.
+    assert payload["violations"] >= 15
+    assert payload["budget_seconds"] == INTERPROC_BUDGET_SECONDS

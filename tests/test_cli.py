@@ -139,7 +139,8 @@ class TestLintCommand:
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for rule_id in ("DT101", "DT102", "DT103", "DT104", "DT105", "DT106",
-                        "DT107", "DT201", "DT202", "DT203", "DT204"):
+                        "DT107", "DT201", "DT202", "DT203", "DT204",
+                        "DT301", "DT302", "DT303", "DT304", "DT305"):
             assert rule_id in out
 
     def test_lint_defaults_to_package_tree(self, capsys):
@@ -151,6 +152,38 @@ class TestLintCommand:
     def test_lint_interproc_package_tree_is_clean(self, capsys):
         assert main(["lint", "--interproc"]) == 0
         assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_lint_json_reports_sorted_records_and_exits_nonzero(self, tmp_path, capsys):
+        (tmp_path / "m.py").write_text(
+            "import time\ndef f():\n    return time.time()\n"
+        )
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["files_checked"] == 1
+        (record,) = payload["violations"]
+        assert record["module"] == "m.py"
+        assert record["rule"] == "DT102"
+        assert record["line"] == 3
+        assert sorted(record) == ["col", "line", "message", "module", "rule"]
+        assert "suppressed" not in payload  # records only under --verbose
+
+    def test_lint_json_verbose_lists_suppressed_records(self, tmp_path, capsys):
+        (tmp_path / "m.py").write_text(
+            "import time\ndef f():\n    return time.time()  # repro: allow[DT102]\n"
+        )
+        assert main(["lint", str(tmp_path), "--format", "json", "--verbose"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["suppressed_count"] == 1
+        assert [r["rule"] for r in payload["suppressed"]] == ["DT102"]
+
+    def test_lint_json_output_is_byte_stable(self, capsys):
+        assert main(["lint", "--format", "json", "--interproc"]) == 0
+        first = capsys.readouterr().out
+        assert main(["lint", "--format", "json", "--interproc"]) == 0
+        assert capsys.readouterr().out == first
+        assert json.loads(first)["clean"] is True
 
     def test_lint_diff_unknown_ref_falls_back_to_full_report(self, capsys):
         assert main(["lint", "--diff", "definitely-not-a-ref"]) == 0
