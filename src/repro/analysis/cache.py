@@ -1,0 +1,204 @@
+"""Content-hashed incremental cache for the lint stack (DESIGN.md §14).
+
+``repro lint --interproc`` re-reads and re-analyzes the whole tree on
+every invocation; on the edit-lint-edit loop almost all of that work
+re-derives results for modules that did not change.  This module caches
+two levels of results under ``.repro-lint-cache/``, keyed purely by
+content — no mtimes, no file-watching, nothing that can go stale:
+
+**Module summaries** (``modules/<sha>.json``) hold one module's raw
+intraprocedural violations.  The fingerprint is a SHA-256 over
+
+* the *rule-set fingerprint* — a digest of every source file of the
+  ``repro.analysis`` package itself, so editing any rule, pass, or this
+  cache invalidates every entry (there is no version constant to forget
+  to bump);
+* the module key (rule scoping is path-dependent: ``repro/core/x.py``
+  and ``repro/metrics/x.py`` lint differently);
+* the full source text;
+* the **directive ledger** — every real ``# repro:`` comment as seen by
+  :func:`repro.analysis.dataflow.directive_comments`.  The ledger is
+  redundant today (directives live in the source text, which is already
+  hashed) but is hashed separately *by construction*: if the source
+  component is ever normalised (comment-stripping, AST-level hashing),
+  directive-only edits — an added ``allow[...]``, a changed budget —
+  still invalidate the entry.
+
+**Program entries** (``programs/<sha>.json``) hold one complete
+:class:`~repro.analysis.engine.LintReport` for a whole-tree run, keyed
+by the sorted ``(module key, module fingerprint)`` pairs plus the
+baseline file's content and the interproc flag.  A warm run whose tree
+is byte-identical replays the report without parsing a single file; any
+changed module falls through to a real run that re-summarizes only the
+changed modules (the interprocedural passes are whole-program by nature
+and always re-run on a partial hit).
+
+Entries are written atomically (temp file + ``os.replace``) so a killed
+run never leaves a torn entry, and unreadable/corrupt entries read as
+misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.rules import Violation
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "LintCache",
+    "module_fingerprint",
+    "ruleset_fingerprint",
+]
+
+#: Default cache location, relative to the invoking working directory.
+DEFAULT_CACHE_DIR = Path(".repro-lint-cache")
+
+#: Bumped when the on-disk layout of cache entries changes shape.
+_FORMAT = "1"
+
+_RULESET_FP: Optional[str] = None
+
+
+def ruleset_fingerprint() -> str:
+    """SHA-256 over the ``repro.analysis`` package's own sources.
+
+    Any edit to a rule, a pass, the engine, or the cache itself yields a
+    new fingerprint and therefore a cold cache — correctness never
+    depends on remembering to bump a version constant.  Memoized per
+    process: the analyzer's own sources do not change mid-run.
+    """
+    global _RULESET_FP
+    if _RULESET_FP is None:
+        digest = hashlib.sha256(_FORMAT.encode())
+        package_dir = Path(__file__).resolve().parent
+        for path in sorted(package_dir.glob("*.py")):
+            digest.update(path.name.encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _RULESET_FP = digest.hexdigest()
+    return _RULESET_FP
+
+
+def module_fingerprint(
+    key: str, source: str, directives: Sequence[Tuple[int, str, str]]
+) -> str:
+    """Content hash of one module as the analyzer sees it."""
+    header = json.dumps(
+        {
+            "ruleset": ruleset_fingerprint(),
+            "key": key,
+            "directives": [list(entry) for entry in directives],
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(header.encode())
+    digest.update(b"\0")
+    digest.update(source.encode())
+    return digest.hexdigest()
+
+
+def program_digest(
+    fingerprints: Dict[str, str], baseline_text: str, interproc: bool
+) -> str:
+    """Key of a whole-tree run: every module fingerprint, the baseline
+    budget's content, and whether the interprocedural stack ran."""
+    header = json.dumps(
+        {
+            "ruleset": ruleset_fingerprint(),
+            "modules": sorted(fingerprints.items()),
+            "baseline": baseline_text,
+            "interproc": interproc,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(header.encode()).hexdigest()
+
+
+def violation_to_record(violation: Violation) -> Dict[str, object]:
+    return {
+        "rule": violation.rule,
+        "path": violation.path,
+        "line": violation.line,
+        "col": violation.col,
+        "message": violation.message,
+    }
+
+
+def violation_from_record(record: Dict[str, object]) -> Violation:
+    return Violation(
+        rule=record["rule"],
+        path=record["path"],
+        line=record["line"],
+        col=record["col"],
+        message=record["message"],
+    )
+
+
+class LintCache:
+    """Filesystem-backed summary store; every method treats I/O or decode
+    failures as cache misses."""
+
+    def __init__(self, root: "str | Path" = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    # -- raw entries ---------------------------------------------------------
+
+    def _read(self, path: Path) -> Optional[Dict[str, object]]:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _write(self, path: Path, payload: Dict[str, object]) -> None:
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, path)
+        except OSError:
+            pass  # a cache that cannot write is merely cold
+
+    # -- module summaries ----------------------------------------------------
+
+    def _module_path(self, fingerprint: str) -> Path:
+        return self.root / "modules" / f"{fingerprint}.json"
+
+    def load_summary(self, fingerprint: str) -> Optional[List[Violation]]:
+        """The raw intra violations of the module hashed to ``fingerprint``,
+        or None on a miss."""
+        payload = self._read(self._module_path(fingerprint))
+        if payload is None or not isinstance(payload.get("violations"), list):
+            return None
+        try:
+            return [violation_from_record(rec) for rec in payload["violations"]]
+        except (KeyError, TypeError):
+            return None
+
+    def store_summary(
+        self, fingerprint: str, key: str, violations: Sequence[Violation]
+    ) -> None:
+        self._write(
+            self._module_path(fingerprint),
+            {
+                "key": key,
+                "violations": [violation_to_record(v) for v in violations],
+            },
+        )
+
+    # -- program entries -----------------------------------------------------
+
+    def _program_path(self, digest: str) -> Path:
+        return self.root / "programs" / f"{digest}.json"
+
+    def load_program(self, digest: str) -> Optional[Dict[str, object]]:
+        return self._read(self._program_path(digest))
+
+    def store_program(self, digest: str, payload: Dict[str, object]) -> None:
+        self._write(self._program_path(digest), payload)

@@ -66,6 +66,7 @@ __all__ = [
     "INTERPROC_RULES",
     "TaintSeed",
     "analyze_graph",
+    "apply_hot_registry",
     "seed_allow_uses",
 ]
 
@@ -450,12 +451,13 @@ def _check_budgets(
 # -- the pass ------------------------------------------------------------------
 
 
-def analyze_graph(graph: CallGraph) -> List[Violation]:
-    """Run DT201-DT204 over a built call graph; raw (unsuppressed)
-    violations, each attributed to the module its line lives in."""
-    violations: List[Violation] = []
+def apply_hot_registry(graph: CallGraph) -> None:
+    """Mark every built-in registry function hot on this graph (idempotent).
 
-    # Built-in hot-path obligations (applies before DT204).
+    DT204 here and the whole DT401-DT405 pass
+    (:mod:`repro.analysis.perflint`) share this notion of "hot", so the
+    registry is applied once, up front, by whoever drives the passes.
+    """
     for mod_key, names in HOT_PATH_REGISTRY.items():
         mod = graph.modules.get(mod_key)
         if mod is None:
@@ -464,6 +466,15 @@ def analyze_graph(graph: CallGraph) -> List[Violation]:
             fn = mod.functions.get(name)
             if fn is not None:
                 fn.hot_path = True
+
+
+def analyze_graph(graph: CallGraph) -> List[Violation]:
+    """Run DT201-DT204 over a built call graph; raw (unsuppressed)
+    violations, each attributed to the module its line lives in."""
+    violations: List[Violation] = []
+
+    # Built-in hot-path obligations (applies before DT204).
+    apply_hot_registry(graph)
 
     # -- DT201 ---------------------------------------------------------------
     direct: Dict[str, TaintSeed] = {}

@@ -1,0 +1,768 @@
+"""Hot-path performance lint (DT401-DT405; DESIGN.md §14).
+
+The repo's throughput story (24x periodic sim, ~120k events/sec on the
+yahoo trace) rests on hand-applied micro-kernel idioms — pre-bound
+aliases, allocation-free loops, no-op elision, null-object tracing —
+that DT101-DT305 do not police: those passes guard *determinism* and
+*complexity class*, not the constant factor.  A future edit can keep a
+``# repro: budget O(1)`` function O(1) while quietly re-introducing a
+per-event dict literal or an attribute chase, and only the throughput
+bench notices, long after the diff.  This pass encodes the idioms as
+rules, scoped exactly to the functions that matter: **hot functions** =
+the PR 4/7 hot-path registry (:data:`repro.analysis.interproc.
+HOT_PATH_REGISTRY`), ``@hot_path`` / ``# repro: hot-path`` markers, and
+every function carrying a ``# repro: budget O(...)`` declaration.
+
+Within a hot function the rules are *flow-aware* over two region kinds:
+each ``for``/``while`` loop body (work repeated within one call) and the
+whole function body (hot functions are themselves per-event/per-tick
+iteration bodies — their callers' loops live elsewhere in the graph).
+
+``DT401`` heap allocation in a hot loop
+    A list/set/dict display, comprehension, or string build (f-string,
+    ``%``/``+``/``.format`` on strings) inside a loop body of a hot
+    function allocates per iteration.  Escape hatches: *bounded* loops
+    (the iterable can only yield a compile-time-constant number of
+    elements — a bounded-size accumulator costs O(1) total), constant
+    tuples (CPython folds them), and allocations inside ``raise``/
+    ``assert`` statements (the error path has already left the hot
+    loop).
+``DT402`` repeated attribute-chain loads that should be pre-bound locals
+    The same ``a.b``/``a.b.c`` chain (including shared prefixes of
+    longer chains) loaded N>=2 times *on one execution path* through a
+    region, with no intervening store to the chain or any of its
+    prefixes.  The codebase's own idiom: ``sim = self.sim`` /
+    ``pop = heapq.heappop`` before the loop.  Counting is branch-aware:
+    loads in the two arms of one ``if`` are mutually exclusive and take
+    the max, sibling ``if`` statements sum, and an ``if`` body ending in
+    ``return``/``raise``/``break``/``continue`` makes the statements
+    after it the implicit else arm (the early-exit idiom).  A store to
+    the chain or a prefix kills the chain for the whole region —
+    rebinding makes pre-binding unsafe, so the rule stays silent rather
+    than suggesting a wrong fix.
+``DT403`` un-gated tracing/logging/contract calls in a hot region
+    A call whose receiver chain names a tracer/logger/contract object
+    must sit behind the existing null-object dispatch or a cached
+    boolean gate (``if self.tracer.enabled:`` / ``if tracing:`` /
+    ``if self._tracing:``).  Argument building for a disabled tracer is
+    pure per-event overhead.
+``DT404`` generator/iterator indirection under a strict budget
+    ``yield``/``yield from``, a generator expression, or an
+    ``itertools`` call inside a function whose declared budget is
+    ``O(1)`` or ``O(log n)``: every ``next()`` through a generator
+    frame costs a frame switch, and the §IV per-event bounds assume
+    direct data-structure access (PR 7 removed exactly these from
+    ``_advance_ct_heads``).
+``DT405`` exception-as-control-flow around per-iteration work
+    ``try/except KeyError|IndexError|AttributeError|StopIteration``
+    inside a hot region where a lookup-with-default exists
+    (``dict.get``, ``getattr(x, n, default)``, ``next(it, default)``).
+    The raise path costs microseconds and hides the miss from the
+    branch predictor; handlers for any other exception type are left
+    alone (that is DT303's business).
+
+Like DT2xx/DT3xx, raw violations route through the engine's inline
+``# repro: allow[...]`` and baseline machinery, so a justified
+exception documents itself next to the code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import BUDGET_GRAMMAR, CallGraph, FunctionInfo
+from repro.analysis.rules import Violation
+
+__all__ = ["PERF_RULES", "analyze_perf", "hot_functions"]
+
+#: The rule ids this pass owns (registered in ``rules.RULES``).
+PERF_RULES: Tuple[str, ...] = ("DT401", "DT402", "DT403", "DT404", "DT405")
+
+#: Budgets strict enough that generator indirection breaks them (DT404).
+_STRICT_BUDGETS = frozenset({"O(1)", "O(log n)"})
+
+#: Receiver-chain segments that mark a call as tracing/logging/contract
+#: work (DT403).  Terminal method names alone are not enough — ``incr``
+#: or ``record`` on an arbitrary object is not tracing.
+_TRACE_SEGMENTS = frozenset({
+    "tracer", "trace", "logger", "logging", "log", "contracts", "monitor",
+})
+
+#: Identifier tokens (underscore-split words) that make an ``if`` test a
+#: recognised gate for DT403 (cached boolean / enabled-flag idioms).
+#: Token-exact so ``tracker`` does not read as a tracing gate.
+_GATE_TOKENS = frozenset({
+    "tracing", "tracer", "trace", "enabled", "debug", "verbose",
+    "log", "logger", "logging", "contract", "contracts",
+})
+
+#: Exception types with a lookup-with-default replacement (DT405).
+_DEFAULTABLE_EXCEPTIONS: Dict[str, str] = {
+    "KeyError": "dict.get(key, default) / dict.setdefault",
+    "IndexError": "a length check or slice",
+    "AttributeError": "getattr(obj, name, default)",
+    "StopIteration": "next(iterator, default)",
+}
+
+#: Call wrappers through which boundedness passes (mirrors interproc).
+_BOUNDED_WRAPPERS = frozenset({"enumerate", "zip", "reversed", "sorted", "list", "tuple"})
+
+
+def _bounded_iter(node: ast.AST) -> bool:
+    """Can this iterable only yield a compile-time-constant number of
+    elements?  (Same grammar as the DT203 scan-site exemption.)"""
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set, ast.Dict, ast.Constant)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id == "range":
+            return all(isinstance(arg, ast.Constant) for arg in node.args)
+        if node.func.id in _BOUNDED_WRAPPERS:
+            return bool(node.args) and all(_bounded_iter(arg) for arg in node.args)
+    return False
+
+
+def _load_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """An Attribute/Name chain as segment tuple, or None for anything
+    rooted in a call/subscript result (not pre-bindable)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def hot_functions(graph: CallGraph) -> List[FunctionInfo]:
+    """Every function this pass covers: hot-path-marked (decorator,
+    comment, or the built-in registry — apply it first, see
+    :func:`repro.analysis.interproc.apply_hot_registry`) or carrying a
+    declared budget."""
+    return [
+        fn
+        for _, fn in sorted(graph.functions.items())
+        if fn.node is not None and (fn.hot_path or fn.budget is not None)
+    ]
+
+
+# -- regions -------------------------------------------------------------------
+
+
+@dataclass
+class _Region:
+    """One analysis region: a loop body or the whole function body."""
+
+    stmts: Sequence[ast.stmt]
+    is_loop: bool
+    line: int
+    bounded: bool = False  # loop over a compile-time-bounded iterable
+
+
+def _iter_regions(fn: FunctionInfo) -> Iterator[_Region]:
+    yield _Region(fn.node.body, is_loop=False, line=fn.line)
+    stack: List[ast.AST] = list(fn.node.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # nested defs are graph nodes of their own
+        if isinstance(node, ast.For):
+            yield _Region(
+                node.body, is_loop=True, line=node.lineno,
+                bounded=_bounded_iter(node.iter),
+            )
+        elif isinstance(node, ast.While):
+            yield _Region(node.body, is_loop=True, line=node.lineno)
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _walk_region(stmts: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """All nodes of a region, skipping nested function/class scopes."""
+    stack: List[ast.AST] = list(stmts)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# -- DT401: allocation in hot loops --------------------------------------------
+
+
+def _is_str_build(node: ast.AST) -> Optional[str]:
+    """A per-iteration string construction, described, or None."""
+    if isinstance(node, ast.JoinedStr):
+        return "f-string"
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Add):
+            for side in (node.left, node.right):
+                if (isinstance(side, ast.Constant) and isinstance(side.value, str)) or isinstance(
+                    side, ast.JoinedStr
+                ):
+                    return "string concatenation"
+        if isinstance(node.op, ast.Mod):
+            if isinstance(node.left, ast.Constant) and isinstance(node.left.value, str):
+                return "%-formatting"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr == "format" and isinstance(node.func.value, ast.Constant) and isinstance(
+            node.func.value.value, str
+        ):
+            return "str.format()"
+    return None
+
+
+def _alloc_description(node: ast.AST) -> Optional[str]:
+    # Store/Del-context displays are unpack *targets* (`a, b = pair`),
+    # not allocations.
+    if isinstance(node, (ast.List, ast.Tuple)) and not isinstance(node.ctx, ast.Load):
+        return None
+    if isinstance(node, ast.List):
+        return "list literal"
+    if isinstance(node, ast.Dict):
+        return "dict literal"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, ast.Tuple):
+        # Constant tuples are folded by the compiler — genuinely free.
+        if all(isinstance(elt, ast.Constant) for elt in node.elts):
+            return None
+        return "tuple literal"
+    if isinstance(node, ast.ListComp):
+        return "list comprehension"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if isinstance(node, ast.DictComp):
+        return "dict comprehension"
+    return _is_str_build(node)
+
+
+def _error_path_spans(stmts: Sequence[ast.stmt]) -> List[Tuple[int, int]]:
+    """(line, end_line) spans of ``raise``/``assert`` statements: their
+    allocations happen after the hot loop is already being left."""
+    spans: List[Tuple[int, int]] = []
+    for node in _walk_region(stmts):
+        if isinstance(node, (ast.Raise, ast.Assert)):
+            spans.append((node.lineno, getattr(node, "end_lineno", node.lineno)))
+    return spans
+
+
+def _cold_spans(fn: FunctionInfo) -> List[Tuple[int, int]]:
+    """(line, end_line) spans of trace-gated blocks: the block an
+    ``if <gate>:`` selects when tracing/debugging is ON (the body, or the
+    ``else`` branch of ``if not <gate>:``).  Work there is paid only on
+    diagnostic runs, never by the production micro-kernel, so DT401 and
+    DT402 stay silent inside them — the same bargain DT403 strikes.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in _walk_region(fn.node.body):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        negated = isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)
+        if not _gated(test.operand if negated else test):
+            continue
+        block = node.orelse if negated else node.body
+        if block:
+            spans.append((
+                min(stmt.lineno for stmt in block),
+                max(getattr(stmt, "end_lineno", stmt.lineno) for stmt in block),
+            ))
+    return spans
+
+
+def _unpack_assign_tuples(stmts: Sequence[ast.stmt]) -> Set[int]:
+    """ids of RHS tuple displays in ``a, b = x, y`` assignments: CPython
+    compiles short unpack pairs to stack rotations, no tuple is built."""
+    exempt: Set[int] = set()
+    for node in _walk_region(stmts):
+        if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Tuple)):
+            continue
+        if len(node.value.elts) > 3:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Tuple) and len(target.elts) == len(node.value.elts):
+                exempt.add(id(node.value))
+                break
+    return exempt
+
+
+def _dt401(
+    fn: FunctionInfo, region: _Region, cold: Sequence[Tuple[int, int]]
+) -> List[Violation]:
+    if not region.is_loop or region.bounded:
+        return []
+    spans = _error_path_spans(region.stmts) + list(cold)
+    exempt = _unpack_assign_tuples(region.stmts)
+    violations: List[Violation] = []
+    seen: Set[Tuple[int, str]] = set()
+    for node in _walk_region(region.stmts):
+        if id(node) in exempt:
+            continue
+        desc = _alloc_description(node)
+        if desc is None:
+            continue
+        line = getattr(node, "lineno", region.line)
+        if any(lo <= line <= hi for lo, hi in spans):
+            continue
+        if (line, desc) in seen:
+            continue
+        seen.add((line, desc))
+        violations.append(
+            Violation(
+                rule="DT401",
+                path=fn.module,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                message=(
+                    f"{desc} allocates per iteration of the hot loop at line "
+                    f"{region.line} in {fn.name}; hoist it out of the loop or "
+                    "reuse a preallocated object"
+                ),
+            )
+        )
+    return violations
+
+
+# -- DT402: repeated attribute-chain loads -------------------------------------
+
+#: A branch context: the ``(id(if_stmt), "body"|"else")`` decisions taken
+#: to reach a node.  Two occurrences co-execute on one pass through the
+#: region iff their contexts are consistent (neither takes the opposite
+#: arm of an ``if`` the other takes).
+_Branch = Tuple[Tuple[int, str], ...]
+
+
+def _terminates(stmts: Sequence[ast.stmt]) -> bool:
+    return bool(stmts) and isinstance(
+        stmts[-1], (ast.Return, ast.Raise, ast.Break, ast.Continue)
+    )
+
+
+def _own_expr_nodes(stmt: ast.AST) -> Iterator[ast.AST]:
+    """The expression nodes belonging to ``stmt`` itself — nested block
+    statements are the recursive walker's business, lambda bodies are
+    deferred work.  Parents are yielded before their children."""
+    stack: List[ast.AST] = [
+        child for child in ast.iter_child_nodes(stmt)
+        if not isinstance(child, (ast.stmt, ast.excepthandler))
+    ]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Lambda):
+            continue
+        yield node
+        stack.extend(
+            child for child in ast.iter_child_nodes(node)
+            if not isinstance(child, ast.stmt)
+        )
+
+
+def _scan_stmt_chains(
+    stmt: ast.AST,
+    ctx: _Branch,
+    sink: List[Tuple[Tuple[str, ...], int, _Branch]],
+    consumed: Set[int],
+) -> None:
+    for node in _own_expr_nodes(stmt):
+        if not isinstance(node, ast.Attribute) or id(node) in consumed:
+            continue
+        chain = _load_chain(node)
+        if chain is None:
+            continue
+        # Only *maximal* Attribute nodes count — the inner Attribute of
+        # `self.sim.now` is the same lookup, not a second one (parents
+        # are yielded first, so the inner nodes are marked in time).
+        inner = node.value
+        while isinstance(inner, ast.Attribute):
+            consumed.add(id(inner))
+            inner = inner.value
+        if not isinstance(node.ctx, ast.Load):
+            continue
+        sink.append((chain, node.lineno, ctx))
+
+
+def _collect_chain_loads(
+    stmts: Sequence[ast.stmt],
+    ctx: _Branch,
+    sink: List[Tuple[Tuple[str, ...], int, _Branch]],
+    consumed: Set[int],
+) -> None:
+    """Record every >=1-step chain load with the branch context under
+    which it executes.  An ``if`` body that ends in return/raise/break/
+    continue makes the statements after the ``if`` the implicit else
+    branch — the early-exit idiom the hot paths use everywhere."""
+    for stmt in stmts:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(stmt, ast.If):
+            _scan_stmt_chains(stmt, ctx, sink, consumed)  # the test
+            key = id(stmt)
+            _collect_chain_loads(stmt.body, ctx + ((key, "body"),), sink, consumed)
+            _collect_chain_loads(stmt.orelse, ctx + ((key, "else"),), sink, consumed)
+            if _terminates(stmt.body):
+                ctx = ctx + ((key, "else"),)
+            continue
+        _scan_stmt_chains(stmt, ctx, sink, consumed)
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, attr, None)
+            if block:
+                _collect_chain_loads(block, ctx, sink, consumed)
+        for handler in getattr(stmt, "handlers", []) or []:
+            _scan_stmt_chains(handler, ctx, sink, consumed)
+            _collect_chain_loads(handler.body, ctx, sink, consumed)
+
+
+def _max_path_count(ctxs: Sequence[_Branch]) -> int:
+    """The largest number of occurrences a single pass through the
+    region can execute.  Contexts form a tree: unconditional occurrences
+    always count, sibling ``if`` statements both execute (sum), and the
+    arms of one ``if`` are exclusive (max)."""
+    total = sum(1 for c in ctxs if not c)
+    by_if: Dict[int, Dict[str, List[_Branch]]] = {}
+    for c in ctxs:
+        if c:
+            by_if.setdefault(c[0][0], {}).setdefault(c[0][1], []).append(c[1:])
+    for branches in by_if.values():
+        total += max(_max_path_count(rest) for rest in branches.values())
+    return total
+
+
+def _dt402(
+    fn: FunctionInfo,
+    region: _Region,
+    cold: Sequence[Tuple[int, int]] = (),
+    seen_chains: Optional[Set[Tuple[str, ...]]] = None,
+) -> List[Violation]:
+    # First pass: every store target kills its chain and, transitively,
+    # every extension of it (a rebound prefix invalidates pre-binding).
+    killed_prefixes: Set[Tuple[str, ...]] = set()
+
+    def kill(target: ast.AST) -> None:
+        # `a.b[k] = v` rebinds neither `a` nor `a.b` — mutating through
+        # a pre-bound alias is safe, and the chain itself is a *load*
+        # (counted below).  `a.b = v` kills `a.b` and everything under it.
+        if isinstance(target, ast.Subscript):
+            return
+        chain = _load_chain(target)
+        if chain is not None:
+            killed_prefixes.add(chain)
+
+    for node in _walk_region(region.stmts):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                _kill_targets(target, kill)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            _kill_targets(node.target, kill)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                _kill_targets(target, kill)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            _kill_targets(node.target, kill)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            _kill_targets(node.optional_vars, kill)
+
+    def is_killed(chain: Tuple[str, ...]) -> bool:
+        return any(chain[: len(k)] == k for k in killed_prefixes) or any(
+            k[: len(chain)] == chain for k in killed_prefixes
+        )
+
+    # Second pass: record every >=1-step chain load with its branch
+    # context, then count each chain — including as a prefix of a longer
+    # chain (`self.sim.now` is also a load of `self.sim`) — along the
+    # single worst execution path.  Loads in the two arms of one ``if``
+    # never co-execute, so they do not sum: pre-binding would not reduce
+    # per-pass lookups there, and the rule must not demand it.
+    raw: List[Tuple[Tuple[str, ...], int, _Branch]] = []
+    _collect_chain_loads(region.stmts, (), raw, set())
+    skip = list(cold) + _error_path_spans(region.stmts)
+    counts: Dict[Tuple[str, ...], List[Tuple[int, _Branch]]] = {}
+    for chain, line, ctx in raw:
+        # Trace-gated blocks and raise/assert arguments are off the
+        # production path.
+        if any(lo <= line <= hi for lo, hi in skip):
+            continue
+        for cut in range(2, len(chain) + 1):
+            counts.setdefault(chain[:cut], []).append((line, ctx))
+
+    repeated: Dict[Tuple[str, ...], Tuple[int, List[int]]] = {}
+    for chain, occurrences in counts.items():
+        if is_killed(chain):
+            continue
+        count = _max_path_count([ctx for _, ctx in occurrences])
+        if count >= 2:
+            lines = sorted({line for line, _ in occurrences})
+            repeated[chain] = (count, lines)
+
+    # Maximal repeated chains only: if `self.sim.now` repeats, do not
+    # also report its prefix `self.sim` (the one pre-bind fixes both).
+    violations: List[Violation] = []
+    for chain in sorted(repeated):
+        count, lines = repeated[chain]
+        if any(
+            other != chain and other[: len(chain)] == chain
+            and repeated[other][0] == count
+            for other in repeated
+        ):
+            continue
+        if seen_chains is not None:
+            # One report per chain per function: the whole-body region is
+            # analysed first, so loop regions only add chains the body's
+            # kill set hid (a pre-loop store with in-loop re-reads).
+            if chain in seen_chains:
+                continue
+            seen_chains.add(chain)
+        dotted = ".".join(chain)
+        where = "the hot loop" if region.is_loop else "hot function"
+        violations.append(
+            Violation(
+                rule="DT402",
+                path=fn.module,
+                line=lines[0],
+                col=0,
+                message=(
+                    f"`{dotted}` is loaded {count}x on one pass through "
+                    f"{where} {fn.name} (lines {', '.join(map(str, lines))}); "
+                    f"pre-bind it to a local"
+                ),
+            )
+        )
+    return violations
+
+
+def _kill_targets(target: ast.AST, kill) -> None:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _kill_targets(elt, kill)
+    elif isinstance(target, ast.Starred):
+        _kill_targets(target.value, kill)
+    else:
+        kill(target)
+
+
+# -- DT403: un-gated tracing/logging/contract calls ----------------------------
+
+
+def _is_trace_call(node: ast.Call) -> Optional[str]:
+    chain = _load_chain(node.func)
+    if chain is None or len(chain) < 2:
+        return None
+    # Receiver segments only: `self.tracer.record` -> ("self", "tracer").
+    if any(seg.lstrip("_") in _TRACE_SEGMENTS for seg in chain[:-1]):
+        return ".".join(chain)
+    return None
+
+
+def _gated(test: ast.AST) -> bool:
+    """Is this ``if`` test a recognised cheap tracing gate?"""
+    for node in ast.walk(test):
+        ident: Optional[str] = None
+        if isinstance(node, ast.Name):
+            ident = node.id
+        elif isinstance(node, ast.Attribute):
+            ident = node.attr
+        if ident is not None:
+            tokens = ident.lower().strip("_").split("_")
+            if any(token in _GATE_TOKENS for token in tokens):
+                return True
+    return False
+
+
+def _scan_exprs_for_trace_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Trace-vocabulary calls in ``stmt``'s own expressions only — child
+    *statements* (nested blocks) are the recursive walker's business, and
+    lambda bodies are deferred work, not per-event work."""
+    stack: List[ast.AST] = [
+        child for child in ast.iter_child_nodes(stmt)
+        if not isinstance(child, (ast.stmt, ast.excepthandler))
+    ]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Lambda):
+            continue
+        if isinstance(node, ast.Call) and _is_trace_call(node) is not None:
+            yield node
+        stack.extend(
+            child for child in ast.iter_child_nodes(node)
+            if not isinstance(child, ast.stmt)
+        )
+
+
+def _dt403(fn: FunctionInfo) -> List[Violation]:
+    violations: List[Violation] = []
+
+    def emit(node: ast.Call) -> None:
+        violations.append(
+            Violation(
+                rule="DT403",
+                path=fn.module,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"un-gated tracing/contract call "
+                    f"`{_is_trace_call(node)}(...)` in hot function "
+                    f"{fn.name}; guard it with the null-object or a "
+                    "cached enabled-boolean (`if self.tracer.enabled:`)"
+                ),
+            )
+        )
+
+    def walk(stmts: Sequence[ast.stmt], gated: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.If):
+                test = stmt.test
+                negated = isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)
+                if _gated(test.operand if negated else test):
+                    # `if <gate>:` gates its body; `if not <gate>:` gates
+                    # its else branch (the body is the untraced path).
+                    walk(stmt.body, gated or not negated)
+                    walk(stmt.orelse, gated or negated)
+                    continue
+            if not gated:
+                for call in _scan_exprs_for_trace_calls(stmt):
+                    emit(call)
+            for attr in ("body", "orelse", "finalbody"):
+                block = getattr(stmt, attr, None)
+                if block:
+                    walk(block, gated)
+            for handler in getattr(stmt, "handlers", []) or []:
+                walk(handler.body, gated)
+
+    walk(list(fn.node.body), False)
+    return violations
+
+
+# -- DT404: generator indirection under strict budgets -------------------------
+
+
+def _dt404(fn: FunctionInfo) -> List[Violation]:
+    if fn.budget not in _STRICT_BUDGETS:
+        return []
+    violations: List[Violation] = []
+    for node in _walk_region(fn.node.body):
+        desc: Optional[str] = None
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            desc = "yield makes this a generator function"
+        elif isinstance(node, ast.GeneratorExp):
+            desc = "generator expression"
+        elif isinstance(node, ast.Call):
+            chain = _load_chain(node.func)
+            if chain is not None and chain[0] == "itertools":
+                desc = f"itertools.{chain[-1]}() chain"
+        if desc is None:
+            continue
+        violations.append(
+            Violation(
+                rule="DT404",
+                path=fn.module,
+                line=getattr(node, "lineno", fn.line),
+                col=getattr(node, "col_offset", 0),
+                message=(
+                    f"{desc} in {fn.name} (declared {fn.budget}); each "
+                    "next() pays a frame switch — walk the structure "
+                    "directly"
+                ),
+            )
+        )
+    return violations
+
+
+# -- DT405: exception-as-control-flow ------------------------------------------
+
+
+def _dt405(fn: FunctionInfo, region: _Region) -> List[Violation]:
+    violations: List[Violation] = []
+    for node in _walk_region(region.stmts):
+        if not isinstance(node, ast.Try):
+            continue
+        names: List[str] = []
+        for handler in node.handlers:
+            types = (
+                handler.type.elts
+                if isinstance(handler.type, ast.Tuple)
+                else [handler.type]
+            )
+            for htype in types:
+                ident = None
+                if isinstance(htype, ast.Name):
+                    ident = htype.id
+                elif isinstance(htype, ast.Attribute):
+                    ident = htype.attr
+                if ident not in _DEFAULTABLE_EXCEPTIONS:
+                    names = []
+                    break
+                names.append(ident)
+            else:
+                continue
+            break
+        if not names:
+            continue
+        hints = "; ".join(
+            dict.fromkeys(_DEFAULTABLE_EXCEPTIONS[name] for name in names)
+        )
+        where = (
+            f"the hot loop at line {region.line}" if region.is_loop
+            else f"hot function {fn.name}"
+        )
+        violations.append(
+            Violation(
+                rule="DT405",
+                path=fn.module,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"try/except {'/'.join(names)} used as control flow in "
+                    f"{where}; use a lookup with a default ({hints})"
+                ),
+            )
+        )
+    return violations
+
+
+# -- the pass ------------------------------------------------------------------
+
+
+def analyze_perf(graph: CallGraph) -> List[Violation]:
+    """Run DT401-DT405 over every hot function of a built call graph.
+
+    Callers must apply the built-in hot-path registry first
+    (:func:`repro.analysis.interproc.apply_hot_registry`) so registry
+    functions without an inline marker are covered; the engine does this
+    once per ``--interproc`` run.
+    """
+    violations: List[Violation] = []
+    for fn in hot_functions(graph):
+        cold = _cold_spans(fn)
+        loop_seen: Set[int] = set()
+        seen_chains: Set[Tuple[str, ...]] = set()
+        for region in _iter_regions(fn):
+            if region.is_loop:
+                if region.line in loop_seen:
+                    continue
+                loop_seen.add(region.line)
+                violations.extend(_dt401(fn, region, cold))
+                violations.extend(_dt405(fn, region))
+            violations.extend(_dt402(fn, region, cold, seen_chains))
+        violations.extend(_dt403(fn))
+        violations.extend(_dt404(fn))
+        if fn.budget in _STRICT_BUDGETS:
+            # A strict-budget function *is* a per-event iteration body:
+            # its try/except control flow repeats per event even without
+            # a visible loop.
+            violations.extend(_dt405(fn, _Region(fn.node.body, False, fn.line)))
+    # DT402 dedups per chain above; the rest dedup per line — a Try inside
+    # a loop of a strict-budget function is seen by both the loop region
+    # and the whole-body region, and an allocation in a nested loop by
+    # both loops.  First report (the tighter location) wins.
+    deduped: Dict[Tuple[str, str, int, str], Violation] = {}
+    for violation in violations:
+        marker = violation.message if violation.rule == "DT402" else ""
+        deduped.setdefault(
+            (violation.rule, violation.path, violation.line, marker), violation
+        )
+    return sorted(deduped.values(), key=lambda v: (v.path, v.line, v.rule, v.message))

@@ -147,8 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--verbose", action="store_true",
                       help="also list suppressed and baselined violations")
     lint.add_argument("--interproc", action="store_true",
-                      help="also run the whole-program taint/budget/dataflow "
-                           "passes (DT201-DT204, DT301-DT305)")
+                      help="also run the whole-program taint/budget/dataflow/"
+                           "perf passes (DT201-DT204, DT301-DT305, DT401-DT405)")
+    lint.add_argument("--incremental", action="store_true",
+                      help="reuse content-hashed summaries from the lint cache; "
+                           "an unchanged tree replays the previous report, a "
+                           "changed one re-summarizes only the changed modules")
+    lint.add_argument("--cache-dir", metavar="DIR",
+                      help="cache location for --incremental "
+                           "(default: .repro-lint-cache)")
     lint.add_argument("--format", choices=("text", "json"), default="text",
                       help="report format; json emits stable sort-keyed records "
                            "for CI and --diff consumers (default: text)")
@@ -314,6 +321,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         report = lint_paths(
             paths, baseline_path=args.baseline,
             interproc=args.interproc, only_keys=only_keys,
+            incremental=args.incremental, cache_dir=args.cache_dir,
         )
     except (LintError, OSError) as exc:
         print(f"lint: {exc}", file=sys.stderr)

@@ -368,24 +368,26 @@ class JobTracker:
         if not tracker.alive:
             # The chain dies with the tracker; revive_tracker re-arms it.
             return
-        if self.config.batched_assignment:
+        config = self.config
+        if config.batched_assignment:
             launched = self._heartbeat_batched(tracker)
         else:
             launched = self.heartbeat(tracker)
         tid = tracker.tracker_id
-        self._hb_anchor[tid] = self.sim.now
+        sim = self.sim
+        self._hb_anchor[tid] = sim.now
+        parked = self._parked
         if self._hb_quiescent and not launched and self._tracker_quiescent(tracker):
             # Park the timer: under eager heartbeats this tick was a no-op
             # and every future one would be too, until a wake condition
             # (_mark_scheduler_dirty / a slot freeing) re-arms it on the
             # same phase grid.
-            self._parked[tid] = None
+            parked[tid] = None
             self._parked_mask |= 1 << tid
             return
-        self._parked.pop(tid, None)
+        parked.pop(tid, None)
         self._parked_mask &= ~(1 << tid)
-        sim = self.sim
-        sim.schedule(sim.now + self.config.heartbeat_interval, self._heartbeat_tick, tracker)
+        sim.schedule(sim.now + config.heartbeat_interval, self._heartbeat_tick, tracker)
 
     # repro: budget O(1)
     def _tracker_quiescent(self, tracker: TaskTracker) -> bool:
@@ -471,29 +473,33 @@ class JobTracker:
         sim = self.sim
         now = sim.now
         interval = self.config.heartbeat_interval
+        parked = self._parked
+        hb_anchor = self._hb_anchor
+        trackers = self.trackers
+        tick_cb = self._heartbeat_tick
         if not mask & (mask - 1):
             # Exactly one wakeable tracker (the common case after a single
             # completion): skip the parked-order scan — order is moot.
             tid = mask.bit_length() - 1
-            del self._parked[tid]
+            del parked[tid]
             self._parked_mask &= ~mask
-            anchor = self._hb_anchor[tid]
+            anchor = hb_anchor[tid]
             tick = anchor + (int((now - anchor) / interval) + 1) * interval
             if tick <= now:
                 tick += interval
-            sim.schedule(tick, self._heartbeat_tick, self.trackers[tid])
+            sim.schedule(tick, tick_cb, trackers[tid])
             return
         # Multiple wake-ups: walk in parked (insertion) order so timers that
         # land on the same tick instant keep their established FIFO order.
-        woken = [tid for tid in self._parked if mask >> tid & 1]
+        woken = [tid for tid in parked if mask >> tid & 1]
         for tid in woken:
-            del self._parked[tid]
+            del parked[tid]
             self._parked_mask &= ~(1 << tid)
-            anchor = self._hb_anchor[tid]
+            anchor = hb_anchor[tid]
             tick = anchor + (math.floor((now - anchor) / interval) + 1) * interval
             if tick <= now:
                 tick += interval
-            sim.schedule(tick, self._heartbeat_tick, self.trackers[tid])
+            sim.schedule(tick, tick_cb, trackers[tid])
 
     # repro: budget O(n)
     def _mark_scheduler_dirty(self) -> None:
@@ -599,8 +605,9 @@ class JobTracker:
             tid = self._rr_pointer + ((upper & -upper).bit_length() - 1)
         else:
             tid = (mask & -mask).bit_length() - 1
-        self._rr_pointer = (tid + 1) % len(self.trackers)
-        return self.trackers[tid]
+        trackers = self.trackers
+        self._rr_pointer = (tid + 1) % len(trackers)
+        return trackers[tid]
 
     # repro: budget O(1)
     def _update_free_mask(self, tracker: TaskTracker) -> None:
@@ -622,6 +629,7 @@ class JobTracker:
         now = sim.now
         kind = task.kind
         uses_map = kind is not TaskKind.REDUCE
+        tid = tracker.tracker_id
         tracker.occupy(task)
         # Inline one-pool mask maintenance (occupy already decremented the
         # tracker's free count): only the consumed pool's bit can change,
@@ -629,11 +637,11 @@ class JobTracker:
         if uses_map:
             self._free_maps -= 1
             if tracker.free_map_slots == 0:
-                self._free_mask_map &= ~(1 << tracker.tracker_id)
+                self._free_mask_map &= ~(1 << tid)
         else:
             self._free_reduces -= 1
             if tracker.free_reduce_slots == 0:
-                self._free_mask_reduce &= ~(1 << tracker.tracker_id)
+                self._free_mask_reduce &= ~(1 << tid)
         task.launch_time = now
         if self._tracing:
             # Slot-idle gap: seconds since the consumed pool's oldest
@@ -671,34 +679,39 @@ class JobTracker:
     # repro: budget O(n)
     def _complete_task(self, task: Task, tracker: TaskTracker) -> None:
         now = self.sim.now
+        kind = task.kind
+        job = task.job
+        tid = tracker.tracker_id
         tracker.release(task)
         # The freed pool's ring bit is set unconditionally: the tracker is
         # alive (it just completed a task) and now has >= 1 free slot.
-        if task.kind is not TaskKind.REDUCE:
+        if kind is not TaskKind.REDUCE:
             self._free_maps += 1
-            self._free_mask_map |= 1 << tracker.tracker_id
+            self._free_mask_map |= 1 << tid
         else:
             self._free_reduces += 1
-            self._free_mask_reduce |= 1 << tracker.tracker_id
+            self._free_mask_reduce |= 1 << tid
         task.finish_time = now
         if self._tracing:
             self._trace_slot_free(task, now)
-        if self.speculator is not None:
+        speculator = self.speculator
+        if speculator is not None:
             # This attempt committed; retire any sibling attempts first so
             # the logical task is accounted exactly once.
-            for loser in self.speculator.commit(task):
+            for loser in speculator.commit(task):
                 self._kill_attempt(loser)
-        maps_done, job_done = task.job.on_task_complete(task, now)
+        maps_done, job_done = job.on_task_complete(task, now)
         self._notify("on_task_complete", task, now)
 
-        if task.kind is TaskKind.SUBMIT:
+        scheduler = self.scheduler
+        if kind is TaskKind.SUBMIT:
             # The submitter map task loaded the wjob's jar and initialised
             # its tasks on this slave; the wjob now reaches the master.
-            self.submit_wjob(task.job.workflow_name, task.payload)
+            self.submit_wjob(job.workflow_name, task.payload)
             if job_done:
-                self.scheduler.on_job_completed(task.job, now)
+                scheduler.on_job_completed(job, now)
         elif job_done:
-            self._on_wjob_completed(task.job, now)
+            self._on_wjob_completed(job, now)
         # Targeted hint refresh: a mid-phase completion frees a slot but
         # adds no runnable work (pending sets only shrink at launch time),
         # so proven-idle hints stay valid.  New work appears only when the
@@ -708,7 +721,7 @@ class JobTracker:
         # work-conserving — select_task returns None only when nothing is
         # runnable — which is what makes the stale-False case impossible.
         if maps_done or job_done:
-            self.scheduler.note_state_change()
+            scheduler.note_state_change()
         self.schedule_round()
         # Wake parked timers from the POST-round state: the eager round just
         # ended with every kind either slot-saturated or proven idle, so any

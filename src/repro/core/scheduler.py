@@ -260,13 +260,13 @@ class WohaScheduler(WorkflowScheduler):
         self.assign_calls += 1
         advanced = self._advance_ct_heads(now)
         tracing = self.tracer.enabled
+        queue = self._queue
         if not tracing:
             # Untraced micro-kernel: the identical head-first walk and the
             # identical decisions, minus the enumerate/skipped-list
             # bookkeeping that exists only to populate decision events.
             # Head first without building the generator — the common case
             # is that the priority head has a runnable task.
-            queue = self._queue
             head = queue.head_by_priority()
             if head is None:
                 return None
@@ -290,7 +290,7 @@ class WohaScheduler(WorkflowScheduler):
         # path (the priority head is runnable); it only walks past a prefix
         # of workflows with no runnable task of this kind — the §IV-B
         # work-conservation exception to the O(log n_w) claim.
-        for position, entry in enumerate(self._queue.iter_by_priority()):  # repro: allow[DT203]
+        for position, entry in enumerate(queue.iter_by_priority()):  # repro: allow[DT203]
             record: _WorkflowRecord = entry.payload
             task = _pick_task_in_workflow(record, kind)  # repro: allow[DT203]
             if task is not None:

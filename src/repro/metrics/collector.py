@@ -92,14 +92,14 @@ class MetricsCollector:
 
     # repro: budget O(1)
     def on_task_complete(self, task: Task, now: float) -> None:
-        kind = task.kind
+        uses_map = task.kind is not TaskKind.REDUCE
+        duration = task.duration
         self.tasks_completed += 1
-        if kind is not TaskKind.REDUCE:
-            self._deltas.append((now, task.job.workflow_name, True, -1))
-            self.busy_map_seconds += task.duration
+        self._deltas.append((now, task.job.workflow_name, uses_map, -1))
+        if uses_map:
+            self.busy_map_seconds += duration
         else:
-            self._deltas.append((now, task.job.workflow_name, False, -1))
-            self.busy_reduce_seconds += task.duration
+            self.busy_reduce_seconds += duration
         if self.first_event is None:
             self.first_event = now
         self.last_event = now
@@ -181,15 +181,17 @@ class MetricsCollector:
         self.tasks_launched += other.tasks_launched
         self.tasks_completed += other.tasks_completed
         self.tasks_lost += other.tasks_lost
-        if other.first_event is not None:
+        other_first = other.first_event
+        if other_first is not None:
             self.first_event = (
-                other.first_event if self.first_event is None
-                else min(self.first_event, other.first_event)
+                other_first if self.first_event is None
+                else min(self.first_event, other_first)
             )
-        if other.last_event is not None:
+        other_last = other.last_event
+        if other_last is not None:
             self.last_event = (
-                other.last_event if self.last_event is None
-                else max(self.last_event, other.last_event)
+                other_last if self.last_event is None
+                else max(self.last_event, other_last)
             )
         if other._merged:
             self._window_sum += other._window_sum
@@ -197,11 +199,14 @@ class MetricsCollector:
             self._reduce_capacity_s += other._reduce_capacity_s
         else:
             span = other.window
+            config = other.config
             self._window_sum += span
-            self._map_capacity_s += other.config.total_map_slots * span
-            self._reduce_capacity_s += other.config.total_reduce_slots * span
+            self._map_capacity_s += config.total_map_slots * span
+            self._reduce_capacity_s += config.total_reduce_slots * span
         for scheduler, counters in other.scheduler_counters.items():
-            bucket = self.scheduler_counters.setdefault(scheduler, {})
+            # Merge folds a handful of shard tables once per run, not
+            # per-event work; the fresh bucket dict is the output itself.
+            bucket = self.scheduler_counters.setdefault(scheduler, {})  # repro: allow[DT401]
             for name, value in counters.items():
                 bucket[name] = bucket.get(name, 0) + value
         return self

@@ -40,20 +40,21 @@ class FifoScheduler(WorkflowScheduler):
     # repro: budget O(n)
     def select_task(self, kind: TaskKind, now: float) -> Optional[Task]:
         tracing = self.tracer.enabled
+        queue = self._queue
         if not tracing:
             # Untraced micro-kernel: same walk, same decisions, but no
             # skipped-list bookkeeping and no per-job property chains —
             # the reduce probe reads the maintained plain flags directly
             # (obtain_reduce re-checks them, so a hit stays correct).
             if kind.uses_map_slot:
-                for jip in self._queue:
+                for jip in queue:
                     if jip.completed or not jip.has_pending_maps:
                         continue
                     task = jip.obtain_map()
                     if task is not None:
                         return task
             else:
-                for jip in self._queue:
+                for jip in queue:
                     if jip.completed or not jip.map_phase_done or not jip._pending_reduces:
                         continue
                     task = jip.obtain_reduce()
@@ -61,7 +62,7 @@ class FifoScheduler(WorkflowScheduler):
                         return task
             return None
         skipped = []
-        for position, jip in enumerate(self._queue):
+        for position, jip in enumerate(queue):
             if jip.completed:
                 continue
             task = jip.obtain(kind)
@@ -76,7 +77,7 @@ class FifoScheduler(WorkflowScheduler):
                         workflow=jip.workflow_name,
                         task=task.task_id,
                         lag=None,
-                        queue_len=len(self._queue),
+                        queue_len=len(queue),
                         position=position,
                         skipped=skipped,
                         ct_advances=0,
@@ -95,7 +96,7 @@ class FifoScheduler(WorkflowScheduler):
                 workflow=None,
                 task=None,
                 lag=None,
-                queue_len=len(self._queue),
+                queue_len=len(queue),
                 position=None,
                 skipped=skipped,
                 ct_advances=0,
@@ -121,12 +122,13 @@ class FifoScheduler(WorkflowScheduler):
         """
         tracing = self.tracer.enabled
         use_map = kind.uses_map_slot
+        queue = self._queue
         if not tracing:
             # Untraced micro-kernel of the same single walk (see
             # select_task): identical launch sequence, no trace payloads.
             launched = 0
             if use_map:
-                for jip in self._queue:
+                for jip in queue:
                     if jip.completed or not jip.has_pending_maps:
                         continue
                     while launched < limit:
@@ -138,7 +140,7 @@ class FifoScheduler(WorkflowScheduler):
                     if launched >= limit:
                         return launched
             else:
-                for jip in self._queue:
+                for jip in queue:
                     if jip.completed or not jip.map_phase_done or not jip._pending_reduces:
                         continue
                     while launched < limit:
@@ -152,8 +154,8 @@ class FifoScheduler(WorkflowScheduler):
             return launched
         skipped: List[str] = []
         launched = 0
-        queue_len = len(self._queue)
-        for position, jip in enumerate(self._queue):
+        queue_len = len(queue)
+        for position, jip in enumerate(queue):
             if jip.completed:
                 continue
             while launched < limit:

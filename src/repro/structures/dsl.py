@@ -110,12 +110,13 @@ class DoubleSkipList:
     # repro: budget O(log n)
     def insert(self, item_id: Any, ct: float, priority: float, payload: Any = None) -> DoubleEntry:
         """Add a workflow under both orderings."""
-        if item_id in self._entries:
+        entries = self._entries
+        if item_id in entries:
             raise KeyError(f"item {item_id!r} already present")
         entry = DoubleEntry(item_id=item_id, ct=ct, priority=priority, payload=payload)
         self._ct_list.insert(entry.ct_key, entry)
         self._priority_list.insert(entry.priority_key, entry)
-        self._entries[item_id] = entry
+        entries[item_id] = entry
         if self.contracts.enabled:
             self.contracts.check_dsl(self)
         return entry
@@ -181,8 +182,10 @@ class DoubleSkipList:
         changes — an unchanged key means an identical position, so the
         remove+reinsert would be a structural no-op.
         """
+        ct_list = self._ct_list
+        priority_list = self._priority_list
         if self._elide:
-            head = self._ct_list.peek_head()
+            head = ct_list.peek_head()
             if head is None:
                 raise KeyError("update_head_ct on empty DoubleSkipList")
             entry: DoubleEntry = head[1]
@@ -191,23 +194,23 @@ class DoubleSkipList:
             if ct_same and priority_same:
                 return entry  # nothing moved: no churn, nothing to re-check
             if not ct_same:
-                self._ct_list.pop_head()
+                ct_list.pop_head()
                 entry.ct = new_ct
-                self._ct_list.insert(entry.ct_key, entry)
+                ct_list.insert(entry.ct_key, entry)
             if not priority_same:
-                self._priority_list.delete(entry.priority_key)
+                priority_list.delete(entry.priority_key)
                 entry.priority = new_priority
-                self._priority_list.insert(entry.priority_key, entry)
+                priority_list.insert(entry.priority_key, entry)
             if self.contracts.enabled:
                 self.contracts.check_dsl(self)
             return entry
-        key, entry = self._ct_list.pop_head()
+        key, entry = ct_list.pop_head()
         assert key == entry.ct_key
-        self._priority_list.delete(entry.priority_key)
+        priority_list.delete(entry.priority_key)
         entry.ct = new_ct
         entry.priority = new_priority
-        self._ct_list.insert(entry.ct_key, entry)
-        self._priority_list.insert(entry.priority_key, entry)
+        ct_list.insert(entry.ct_key, entry)
+        priority_list.insert(entry.priority_key, entry)
         if self.contracts.enabled:
             self.contracts.check_dsl(self)
         return entry
@@ -225,13 +228,14 @@ class DoubleSkipList:
         entry = self._entries[item_id]
         if self._elide and new_priority == entry._priority:
             return entry
-        head = self._priority_list.peek_head()
+        priority_list = self._priority_list
+        head = priority_list.peek_head()
         if head is not None and head[0] == entry.priority_key:
-            self._priority_list.pop_head()
+            priority_list.pop_head()
         else:
-            self._priority_list.delete(entry.priority_key)
+            priority_list.delete(entry.priority_key)
         entry.priority = new_priority
-        self._priority_list.insert(entry.priority_key, entry)
+        priority_list.insert(entry.priority_key, entry)
         if self.contracts.enabled:
             self.contracts.check_dsl(self)
         return entry
@@ -242,9 +246,10 @@ class DoubleSkipList:
         entry = self._entries[item_id]
         if self._elide and new_ct == entry._ct:
             return entry
-        self._ct_list.delete(entry.ct_key)
+        ct_list = self._ct_list
+        ct_list.delete(entry.ct_key)
         entry.ct = new_ct
-        self._ct_list.insert(entry.ct_key, entry)
+        ct_list.insert(entry.ct_key, entry)
         if self.contracts.enabled:
             self.contracts.check_dsl(self)
         return entry

@@ -178,12 +178,14 @@ class DeterministicSkipList(OrderedMap):
         # the gap at l+1, so keep going while changes happen below.
         level = 1
         dirty_below = True
+        heads = self._heads  # grown/shrunk in place, never rebound
+        grow_if_needed = self._grow_if_needed
         while level <= tower_top + 1 or dirty_below:
-            if level >= len(self._heads):
-                self._grow_if_needed()
-                if level >= len(self._heads):
+            if level >= len(heads):
+                grow_if_needed()
+                if level >= len(heads):
                     break
-            pred = preds[level] if level < len(preds) else self._heads[level]
+            pred = preds[level] if level < len(preds) else heads[level]
             dirty_below = False
             while True:
                 if self._gap_size(pred, pred.right.key, cap=3) <= 3:
@@ -192,7 +194,7 @@ class DeterministicSkipList(OrderedMap):
                 dirty_below = True
             level += 1
         self._shrink()
-        self._grow_if_needed()
+        grow_if_needed()
         return value
 
     def _find_preds(self, key: Any) -> List[_Node]:
@@ -225,14 +227,15 @@ class DeterministicSkipList(OrderedMap):
 
     # repro: budget O(log n)
     def pop_head(self) -> Tuple[Any, Any]:
-        first = self._heads[0].right
+        heads = self._heads
+        first = heads[0].right
         if first is self._tail:
             raise KeyError("pop_head from empty skip list")
         key, value = first.key, first.value
         # The head tower is head.right at every level it reaches; its left
         # gaps are all empty, so unlinking cannot oversize anything.  One
         # step per level: O(log n_max) iterations.
-        for head in self._heads:  # repro: allow[DT203]
+        for head in heads:  # repro: allow[DT203]
             if head.right.key == key:
                 head.right = head.right.right
             else:

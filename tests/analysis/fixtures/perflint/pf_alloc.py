@@ -1,0 +1,8 @@
+"""Fixture: DT401 — per-iteration allocation in a hot loop."""
+
+
+# repro: budget O(n)
+def drain(queue, sink):
+    while queue:
+        item = queue.pop_head()
+        sink([item.key, item.value])

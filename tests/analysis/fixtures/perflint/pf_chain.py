@@ -1,0 +1,8 @@
+"""Fixture: DT402 — the same attribute chain loaded twice per iteration."""
+
+
+# repro: budget O(n)
+def advance_all(sim, events):
+    for event in events:
+        sim.clock.advance(event.delay)
+        sim.clock.note(event.delay)

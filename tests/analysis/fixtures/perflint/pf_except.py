@@ -1,0 +1,11 @@
+"""Fixture: DT405 — try/except as per-iteration control flow."""
+
+
+# repro: budget O(n)
+def resolve(table, keys, sink):
+    for key in keys:
+        try:
+            value = table[key]
+        except KeyError:
+            value = None
+        sink(value)

@@ -1,0 +1,7 @@
+"""Fixture: DT404 — generator indirection under a strict budget."""
+
+
+# repro: budget O(1)
+def head_pair(heads):
+    yield heads[0]
+    yield heads[1]

@@ -1,0 +1,10 @@
+"""Fixture: DT403 — an un-gated tracer call on the hot path."""
+
+
+# repro: budget O(n)
+def complete(tasks, tracer):
+    done = 0
+    for task in tasks:
+        tracer.record("complete", task.task_id)
+        done += 1
+    return done

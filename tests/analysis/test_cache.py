@@ -1,0 +1,236 @@
+"""The content-hashed incremental lint cache: hits, invalidation, safety."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.cache import (
+    LintCache,
+    module_fingerprint,
+    program_digest,
+    ruleset_fingerprint,
+)
+from repro.cli import main as cli_main
+
+DIRTY = (
+    '"""Reads the wall clock."""\n'
+    "\n"
+    "import time\n"
+    "\n"
+    "\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+)
+
+CLEAN = (
+    '"""No violations here."""\n'
+    "\n"
+    "\n"
+    "def double(x):\n"
+    "    return 2 * x\n"
+)
+
+
+def make_tree(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "dirty.py").write_text(DIRTY)
+    (tree / "clean.py").write_text(CLEAN)
+    return tree
+
+
+def run(tree, cache_dir, **kwargs):
+    return lint_paths([tree], incremental=True, cache_dir=cache_dir, **kwargs)
+
+
+# -- hits and replay ----------------------------------------------------------
+
+
+def test_cold_run_summarizes_everything_and_warm_run_nothing(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    cold = run(tree, cache_dir)
+    assert cold.summaries_recomputed == 2
+    warm = run(tree, cache_dir)
+    assert warm.summaries_recomputed == 0
+    assert [v.render() for v in warm.violations] == [
+        v.render() for v in cold.violations
+    ]
+    assert warm.files_checked == cold.files_checked == 2
+    assert [v.rule for v in warm.violations] == ["DT102"]
+
+
+def test_replay_matches_a_non_incremental_run_exactly(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    run(tree, cache_dir, interproc=True)
+    warm = run(tree, cache_dir, interproc=True)
+    reference = lint_paths([tree], interproc=True)
+    assert [v.render() for v in warm.violations] == [
+        v.render() for v in reference.violations
+    ]
+    assert [v.render() for v in warm.suppressed] == [
+        v.render() for v in reference.suppressed
+    ]
+    assert warm.stale_baseline == reference.stale_baseline
+    assert reference.summaries_recomputed is None  # non-incremental runs
+
+
+def test_noop_edit_resummarizes_exactly_one_module(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    run(tree, cache_dir)
+    (tree / "clean.py").write_text(CLEAN + "\n# a trailing comment\n")
+    partial = run(tree, cache_dir)
+    assert partial.summaries_recomputed == 1
+    assert [v.rule for v in partial.violations] == ["DT102"]
+    # And the edited tree state is itself now cached.
+    assert run(tree, cache_dir).summaries_recomputed == 0
+
+
+def test_edits_change_findings_not_just_counters(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    assert not run(tree, cache_dir).clean
+    (tree / "dirty.py").write_text(CLEAN)
+    fixed = run(tree, cache_dir)
+    assert fixed.clean
+    assert fixed.summaries_recomputed == 1
+
+
+# -- invalidation by construction ---------------------------------------------
+
+
+def test_directive_ledger_is_hashed_independently_of_source():
+    # The ledger is redundant while the raw source is hashed, but it must
+    # stay load-bearing on its own: same source + different ledger =>
+    # different fingerprint (satellite: directive-only changes can never
+    # be cache-invisible, even if source hashing is later normalised).
+    source = "def f():\n    pass\n"
+    a = module_fingerprint("m.py", source, [(1, "allow", "DT102")])
+    b = module_fingerprint("m.py", source, [(1, "allow", "DT103")])
+    c = module_fingerprint("m.py", source, [])
+    assert len({a, b, c}) == 3
+
+
+def test_adding_an_allow_directive_invalidates_and_suppresses(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    assert [v.rule for v in run(tree, cache_dir).violations] == ["DT102"]
+    (tree / "dirty.py").write_text(
+        DIRTY.replace("time.time()", "time.time()  # repro: allow[DT102]")
+    )
+    after = run(tree, cache_dir)
+    assert after.clean
+    assert [v.rule for v in after.suppressed] == ["DT102"]
+    assert after.summaries_recomputed == 1
+
+
+def test_module_key_is_part_of_the_fingerprint():
+    # Rule scoping is path-dependent; the same bytes in another location
+    # must not share an entry.
+    source = "def f():\n    pass\n"
+    assert module_fingerprint("repro/core/x.py", source, []) != module_fingerprint(
+        "repro/metrics/x.py", source, []
+    )
+
+
+def test_baseline_content_keys_the_program_entry(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("dirty.py:DT102:1\n")
+    first = run(tree, cache_dir, baseline_path=baseline)
+    assert first.clean and len(first.baselined) == 1
+    baseline.write_text("")
+    second = run(tree, cache_dir, baseline_path=baseline)
+    assert [v.rule for v in second.violations] == ["DT102"]
+
+
+def test_program_digest_depends_on_interproc_flag():
+    fps = {"m.py": "0" * 64}
+    assert program_digest(fps, "", True) != program_digest(fps, "", False)
+
+
+def test_ruleset_fingerprint_is_stable_within_a_process():
+    assert ruleset_fingerprint() == ruleset_fingerprint()
+    assert len(ruleset_fingerprint()) == 64
+
+
+# -- safety -------------------------------------------------------------------
+
+
+def test_corrupt_cache_entries_read_as_misses(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    run(tree, cache_dir)
+    for entry in cache_dir.rglob("*.json"):
+        entry.write_text("{not json")
+    recovered = run(tree, cache_dir)
+    assert recovered.summaries_recomputed == 2
+    assert [v.rule for v in recovered.violations] == ["DT102"]
+
+
+def test_unwritable_cache_is_merely_cold(tmp_path):
+    tree = make_tree(tmp_path)
+    blocked = tmp_path / "blocked"
+    blocked.write_text("a file, not a directory")
+    report = lint_paths([tree], incremental=True, cache_dir=blocked / "sub")
+    assert [v.rule for v in report.violations] == ["DT102"]
+    assert report.summaries_recomputed == 2
+
+
+def test_only_keys_disables_the_cache(tmp_path):
+    tree = make_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    report = lint_paths(
+        [tree], incremental=True, cache_dir=cache_dir, only_keys=["dirty.py"]
+    )
+    assert report.summaries_recomputed is None
+    assert not (cache_dir / "programs").exists()
+
+
+def test_module_summaries_are_shared_across_program_states(tmp_path):
+    # Editing one module must not force the other's summary to re-run:
+    # entries are keyed per module, not per tree.
+    tree = make_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    run(tree, cache_dir)
+    modules_before = {p.name for p in (cache_dir / "modules").glob("*.json")}
+    (tree / "clean.py").write_text(CLEAN + "\n# touched\n")
+    run(tree, cache_dir)
+    modules_after = {p.name for p in (cache_dir / "modules").glob("*.json")}
+    assert modules_before < modules_after
+    assert len(modules_after - modules_before) == 1
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_incremental_reports_summaries_recomputed(tmp_path, capsys):
+    tree = make_tree(tmp_path)
+    (tree / "dirty.py").write_text(CLEAN)
+    cache_dir = tmp_path / "cache"
+    argv = [
+        "lint", str(tree), "--incremental", "--cache-dir", str(cache_dir),
+        "--format", "json",
+    ]
+    assert cli_main(argv) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["summaries_recomputed"] == 2
+    assert cli_main(argv) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["summaries_recomputed"] == 0
+    assert {k: v for k, v in warm.items() if k != "summaries_recomputed"} == {
+        k: v for k, v in cold.items() if k != "summaries_recomputed"
+    }
+
+
+def test_cli_incremental_text_summary_line(tmp_path, capsys):
+    tree = make_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    argv = ["lint", str(tree), "--incremental", "--cache-dir", str(cache_dir)]
+    assert cli_main(argv) == 1  # DT102 fires
+    assert "2 summarie(s) recomputed" in capsys.readouterr().out
+    assert cli_main(argv) == 1
+    assert "0 summarie(s) recomputed" in capsys.readouterr().out

@@ -1,0 +1,402 @@
+"""The DT401-DT405 hot-path performance pass: regions, rules, precision."""
+
+import ast
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.interproc import apply_hot_registry
+from repro.analysis.perflint import PERF_RULES, analyze_perf, hot_functions
+
+FIXTURES = Path(__file__).parent / "fixtures" / "perflint"
+
+
+def perf(modules):
+    """Raw DT4xx violations for a ``{key: source}`` corpus."""
+    graph = build_call_graph(
+        {key: (src, ast.parse(src)) for key, src in modules.items()}
+    )
+    apply_hot_registry(graph)
+    return analyze_perf(graph)
+
+
+def perf_src(src):
+    return perf({"m.py": src})
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+# -- the seeded fixture corpus ------------------------------------------------
+
+
+def test_corpus_is_clean_without_the_analyzer():
+    assert lint_paths([FIXTURES]).clean
+
+
+def test_every_perf_rule_fires_on_the_corpus():
+    report = lint_paths([FIXTURES], interproc=True)
+    assert {v.rule for v in report.violations} == set(PERF_RULES)
+
+
+def test_corpus_findings_are_where_the_fixtures_say():
+    report = lint_paths([FIXTURES], interproc=True)
+    by_rule = {}
+    for v in report.violations:
+        by_rule.setdefault(v.rule, set()).add(v.path)
+    assert by_rule["DT401"] == {"pf_alloc.py"}
+    assert by_rule["DT402"] == {"pf_chain.py"}
+    assert by_rule["DT403"] == {"pf_trace.py"}
+    assert by_rule["DT404"] == {"pf_generator.py"}
+    assert by_rule["DT405"] == {"pf_except.py"}
+
+
+def test_perf_report_is_deterministic():
+    first = lint_paths([FIXTURES], interproc=True)
+    second = lint_paths([FIXTURES], interproc=True)
+    assert [v.render() for v in first.violations] == [
+        v.render() for v in second.violations
+    ]
+
+
+# -- coverage: which functions the pass looks at ------------------------------
+
+
+def test_only_hot_or_budgeted_functions_are_analyzed():
+    cold = (
+        "def plain(sim, events):\n"
+        "    for event in events:\n"
+        "        sim.clock.advance([event])\n"
+        "        sim.clock.note([event])\n"
+    )
+    assert perf_src(cold) == []
+
+
+def test_hot_path_comment_and_budget_both_grant_coverage():
+    marked = (
+        "# repro: hot-path\n"
+        "def tick(sim, events):\n"
+        "    for event in events:\n"
+        "        sim.clock.advance(event)\n"
+        "        sim.clock.note(event)\n"
+    )
+    assert rules_of(perf_src(marked)) == ["DT402"]
+    budgeted = marked.replace("# repro: hot-path", "# repro: budget O(n)")
+    assert rules_of(perf_src(budgeted)) == ["DT402"]
+
+
+def test_hot_functions_requires_applied_registry():
+    graph = build_call_graph({"m.py": ("def f():\n    pass\n", ast.parse("def f():\n    pass\n"))})
+    assert hot_functions(graph) == []
+
+
+# -- DT401 --------------------------------------------------------------------
+
+
+def test_dt401_fires_on_literals_comprehensions_and_string_builds():
+    src = (
+        "# repro: budget O(n)\n"
+        "def drain(queue, sink):\n"
+        "    while queue:\n"
+        "        item = queue.pop_head()\n"
+        "        sink({'k': item})\n"
+        "        sink([x for x in item.parts])\n"
+        "        sink(f'task {item}')\n"
+    )
+    assert rules_of(perf_src(src)) == ["DT401", "DT401", "DT401"]
+
+
+def test_dt401_bounded_loops_are_exempt():
+    src = (
+        "# repro: budget O(n)\n"
+        "def probe(sink):\n"
+        "    for kind in ('map', 'reduce'):\n"
+        "        sink([kind])\n"
+    )
+    assert perf_src(src) == []
+
+
+def test_dt401_raise_and_unpack_and_constant_tuples_are_exempt():
+    src = (
+        "# repro: budget O(n)\n"
+        "def drain(queue):\n"
+        "    while queue:\n"
+        "        a, b = queue.x, queue.y\n"          # stack rotation
+        "        kinds = ('map', 'reduce')\n"        # folded constant
+        "        if a is None:\n"
+        "            raise KeyError(f'empty {b}')\n"  # error path
+        "        queue.push(a, b)\n"
+    )
+    assert perf_src(src) == []
+
+
+def test_dt401_trace_gated_blocks_are_exempt():
+    src = (
+        "# repro: budget O(n)\n"
+        "def drain(queue, tracer):\n"
+        "    tracing = tracer.enabled\n"
+        "    while queue:\n"
+        "        item = queue.pop_head()\n"
+        "        if tracing:\n"
+        "            tracer.record('pop', [item])\n"
+        "        queue.note(item)\n"
+    )
+    assert perf_src(src) == []
+
+
+def test_dt401_outside_loops_is_silent():
+    src = (
+        "# repro: budget O(n)\n"
+        "def summarize(queue):\n"
+        "    return [queue.head, queue.tail]\n"
+    )
+    assert perf_src(src) == []
+
+
+# -- DT402 --------------------------------------------------------------------
+
+
+def test_dt402_counts_prefixes_of_longer_chains():
+    src = (
+        "# repro: budget O(n)\n"
+        "def tick(sim):\n"
+        "    while sim.queue:\n"
+        "        sim.clock.advance(1)\n"
+        "        sim.clock.note(1)\n"
+    )
+    (v,) = perf_src(src)
+    assert v.rule == "DT402"
+    assert "`sim.clock`" in v.message
+
+
+def test_dt402_store_to_chain_or_prefix_kills_it():
+    src = (
+        "# repro: budget O(n)\n"
+        "def tick(sim, events):\n"
+        "    for event in events:\n"
+        "        sim.clock = event.make_clock()\n"
+        "        sim.clock.advance(1)\n"
+        "        sim.clock.note(1)\n"
+    )
+    assert perf_src(src) == []
+
+
+def test_dt402_loop_variable_chains_are_prebindable_per_iteration():
+    # `event` rebinds between iterations but is stable within one, so
+    # `delay = event.delay` at the top of the body is a valid pre-bind.
+    src = (
+        "# repro: budget O(n)\n"
+        "def tick(sim, events):\n"
+        "    for event in events:\n"
+        "        sim.apply(event.delay)\n"
+        "        sim.log(event.delay)\n"
+    )
+    (v,) = perf_src(src)
+    assert "`event.delay`" in v.message
+
+
+def test_dt402_exclusive_branches_do_not_sum():
+    src = (
+        "# repro: budget O(n)\n"
+        "def route(self, task):\n"
+        "    if task.kind:\n"
+        "        self.maps.add(task)\n"
+        "    else:\n"
+        "        self.reduces.add(task)\n"
+    )
+    assert perf_src(src) == []
+
+
+def test_dt402_early_return_makes_the_tail_the_else_arm():
+    src = (
+        "# repro: budget O(1)\n"
+        "def poke(self, task):\n"
+        "    if task.done:\n"
+        "        self.sink.note(task)\n"
+        "        return\n"
+        "    self.sink.push(task)\n"
+    )
+    assert perf_src(src) == []
+
+
+def test_dt402_sibling_ifs_both_execute_and_sum():
+    src = (
+        "# repro: budget O(1)\n"
+        "def poke(self, a, b):\n"
+        "    if a:\n"
+        "        self.sink.note(a)\n"
+        "    if b:\n"
+        "        self.sink.note(b)\n"
+    )
+    (v,) = perf_src(src)
+    assert "`self.sink.note`" in v.message
+
+
+def test_dt402_one_report_per_chain_per_function():
+    src = (
+        "# repro: budget O(n)\n"
+        "def tick(self, events):\n"
+        "    self.clock.start()\n"
+        "    for event in events:\n"
+        "        self.clock.advance(event)\n"
+    )
+    violations = perf_src(src)
+    assert rules_of(violations) == ["DT402"]
+
+
+# -- DT403 --------------------------------------------------------------------
+
+
+def test_dt403_gating_idioms_are_recognised():
+    src = (
+        "# repro: budget O(n)\n"
+        "def tick(self, events):\n"
+        "    tracing = self.tracer.enabled\n"
+        "    for event in events:\n"
+        "        if tracing:\n"
+        "            self.tracer.record('e', event)\n"
+        "        if not tracing:\n"
+        "            self.apply(event)\n"
+        "        else:\n"
+        "            self.tracer.incr('n', 'events')\n"
+    )
+    assert perf_src(src) == []
+
+
+def test_dt403_inline_enabled_gate_is_recognised():
+    src = (
+        "# repro: budget O(n)\n"
+        "def tick(self, events):\n"
+        "    for event in events:\n"
+        "        if self.tracer.enabled:\n"
+        "            self.tracer.record('e', event)\n"
+        "        self.apply(event)\n"
+    )
+    assert perf_src(src) == []
+
+
+def test_repeated_gate_loads_themselves_get_dt402():
+    # `self.tracer.enabled` read twice per call is itself a chain to
+    # pre-bind — exactly the `tracing = self.tracer.enabled` idiom.
+    src = (
+        "# repro: budget O(n)\n"
+        "def tick(self, events):\n"
+        "    tracing = self.tracer.enabled\n"
+        "    for event in events:\n"
+        "        if self.tracer.enabled:\n"
+        "            self.tracer.record('e', event)\n"
+        "        self.apply(event)\n"
+    )
+    (v,) = perf_src(src)
+    assert v.rule == "DT402"
+    assert "`self.tracer.enabled`" in v.message
+
+
+def test_dt403_ungated_call_fires(tmp_path):
+    src = (
+        "# repro: budget O(n)\n"
+        "def tick(self, events):\n"
+        "    for event in events:\n"
+        "        self.logger.info(event)\n"
+    )
+    assert rules_of(perf_src(src)) == ["DT403"]
+    # Without --interproc the pass does not run at all.
+    target = tmp_path / "hot.py"
+    target.write_text(src)
+    assert lint_paths([target]).clean
+
+
+def test_dt403_non_trace_receivers_do_not_fire():
+    src = (
+        "# repro: budget O(n)\n"
+        "def tick(self, events):\n"
+        "    for event in events:\n"
+        "        self.tracker.assign(event)\n"
+    )
+    assert perf_src(src) == []
+
+
+# -- DT404 --------------------------------------------------------------------
+
+
+def test_dt404_strict_budgets_reject_generator_indirection():
+    gen = "# repro: budget O(1)\ndef g(xs):\n    yield xs[0]\n"
+    assert rules_of(perf_src(gen)) == ["DT404"]
+    genexp = "# repro: budget O(log n)\ndef g(xs):\n    return sum(x for x in xs)\n"
+    assert rules_of(perf_src(genexp)) == ["DT404"]
+    itert = (
+        "import itertools\n"
+        "# repro: budget O(1)\n"
+        "def g(a, b):\n"
+        "    return itertools.chain(a, b)\n"
+    )
+    assert rules_of(perf_src(itert)) == ["DT404"]
+
+
+def test_dt404_loose_budgets_allow_generators():
+    src = "# repro: budget O(n)\ndef g(xs):\n    yield from xs\n"
+    assert perf_src(src) == []
+
+
+# -- DT405 --------------------------------------------------------------------
+
+
+def test_dt405_defaultable_exceptions_fire_in_hot_loops():
+    src = (
+        "# repro: budget O(n)\n"
+        "def resolve(table, keys):\n"
+        "    out = 0\n"
+        "    for key in keys:\n"
+        "        try:\n"
+        "            out += table[key]\n"
+        "        except KeyError:\n"
+        "            pass\n"
+        "    return out\n"
+    )
+    (v,) = perf_src(src)
+    assert v.rule == "DT405"
+    assert "dict.get" in v.message
+
+
+def test_dt405_other_exception_types_are_not_its_business():
+    src = (
+        "# repro: budget O(n)\n"
+        "def resolve(table, keys):\n"
+        "    for key in keys:\n"
+        "        try:\n"
+        "            table.apply(key)\n"
+        "        except ValueError:\n"
+        "            pass\n"
+    )
+    assert perf_src(src) == []
+
+
+def test_dt405_strict_budget_body_counts_without_a_loop():
+    src = (
+        "# repro: budget O(1)\n"
+        "def head(table, key):\n"
+        "    try:\n"
+        "        return table[key]\n"
+        "    except KeyError:\n"
+        "        return None\n"
+    )
+    (v,) = perf_src(src)
+    assert v.rule == "DT405"
+
+
+# -- engine integration -------------------------------------------------------
+
+
+def test_inline_allow_suppresses_perf_findings(tmp_path):
+    src = (
+        "# repro: budget O(n)\n"
+        "def drain(queue, sink):\n"
+        "    while queue:\n"
+        "        sink([queue.pop_head()])  # repro: allow[DT401]\n"
+    )
+    target = tmp_path / "hot.py"
+    target.write_text(src)
+    report = lint_paths([target], interproc=True)
+    assert report.clean
+    assert rules_of(report.suppressed) == ["DT401"]

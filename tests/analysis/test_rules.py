@@ -13,6 +13,7 @@ import pytest
 from repro.analysis import RULES, lint_paths, lint_source
 from repro.analysis.dataflow import DATAFLOW_RULES
 from repro.analysis.interproc import INTERPROC_RULES
+from repro.analysis.perflint import PERF_RULES
 from repro.cli import main as cli_main
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -46,15 +47,31 @@ DATAFLOW_FIXTURES = {
     "DT305": "dataflow/df_wallclock_taint.py",
 }
 
+#: The hot-path performance rules' fixtures live in ``fixtures/perflint/``
+#: and are exercised (whole-corpus, ``interproc=True``) by test_perflint.py.
+PERF_FIXTURES = {
+    "DT401": "perflint/pf_alloc.py",
+    "DT402": "perflint/pf_chain.py",
+    "DT403": "perflint/pf_trace.py",
+    "DT404": "perflint/pf_generator.py",
+    "DT405": "perflint/pf_except.py",
+}
+
 
 def test_every_rule_has_a_fixture():
     assert (
         set(RULE_FIXTURES) | set(INTERPROC_FIXTURES) | set(DATAFLOW_FIXTURES)
+        | set(PERF_FIXTURES)
         == set(RULES)
     )
     assert set(INTERPROC_FIXTURES) == set(INTERPROC_RULES)
     assert set(DATAFLOW_FIXTURES) == set(DATAFLOW_RULES)
-    for rel in (*INTERPROC_FIXTURES.values(), *DATAFLOW_FIXTURES.values()):
+    assert set(PERF_FIXTURES) == set(PERF_RULES)
+    for rel in (
+        *INTERPROC_FIXTURES.values(),
+        *DATAFLOW_FIXTURES.values(),
+        *PERF_FIXTURES.values(),
+    ):
         assert (FIXTURES / rel).is_file(), rel
 
 
