@@ -131,6 +131,14 @@ HOT_PATH_REGISTRY: Dict[str, Tuple[str, ...]] = {
         "MetricsCollector.on_task_launch",
         "MetricsCollector.on_task_complete",
     ),
+    "repro/serve/batching.py": (
+        "BatchingPlanner.flush_now",
+        "BatchingPlanner._flush",
+    ),
+    "repro/core/plancache.py": (
+        "PlanCache.lookup",
+        "PlanCache._commit",
+    ),
 }
 
 #: Intraprocedural rules whose hits double as taint seeds.

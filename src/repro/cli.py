@@ -20,6 +20,12 @@ Commands:
   (:mod:`repro.experiments.runner`): scenarios x schedulers x seeds,
   optionally fanned over worker processes, with per-cell and merged
   metrics printed and the deterministic grid payload written as JSON.
+* ``serve`` — run the multi-tenant planning/admission HTTP service
+  (:mod:`repro.serve`): submit workflows, fetch wire-format plans, check
+  deadline admission, stream the decision trace.
+* ``serve-bench`` — closed-loop load generator against an in-process
+  service (:mod:`repro.serve.loadgen`): p50/p99/p999 plan latency and
+  throughput across request mixes × batching on/off × concurrency.
 * ``lint`` — run the determinism lint (:mod:`repro.analysis`) over source
   trees; exits 1 on violations or a stale baseline, 2 on usage errors.
   ``--interproc`` adds the whole-program taint/budget pass (DT201-DT204);
@@ -138,6 +144,46 @@ def build_parser() -> argparse.ArgumentParser:
                            help="attribute WORKFLOW's deadline miss from the trace")
     decisions.add_argument("--counters", action="store_true",
                            help="print the per-scheduler decision counters")
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant planning/admission HTTP service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port; 0 lets the OS pick (printed on startup)")
+    serve.add_argument("--slots", type=int, default=200,
+                       help="system slot count n the plans are searched against")
+    serve.add_argument("--prioritizer", choices=("hlf", "lpf", "mpf"), default="lpf")
+    serve.add_argument("--no-cap-search", action="store_true",
+                       help="plan at the full slot count (Fig 2 ablation)")
+    serve.add_argument("--pool", choices=("pooled", "split"), default="pooled")
+    serve.add_argument("--cache-capacity", type=int, default=1024,
+                       help="shared plan-cache entries (LRU beyond this)")
+    serve.add_argument("--no-batching", action="store_true",
+                       help="disable micro-batch fusion; misses build individually")
+    serve.add_argument("--window", type=float, default=0.002,
+                       help="micro-batch window in seconds (default 2ms)")
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="closed-loop latency/throughput bench against the planning service",
+    )
+    serve_bench.add_argument("--concurrency", type=int, action="append",
+                             help="closed-loop client count; repeatable "
+                                  "(default: 2, 8, 16)")
+    serve_bench.add_argument("--requests", type=int, default=25,
+                             help="requests per client per cell (default 25)")
+    serve_bench.add_argument("--mix", action="append", choices=("recurrent", "cold"),
+                             help="request mix(es) to run; repeatable (default: both)")
+    serve_bench.add_argument("--scenario", choices=sorted(SWEEP_SCENARIOS), default="serve",
+                             help="workload template source (default: serve)")
+    serve_bench.add_argument("--seed", type=int, default=7)
+    serve_bench.add_argument("--scale", type=float, default=0.5,
+                             help="template-count scale factor")
+    serve_bench.add_argument("--slots", type=int, default=200)
+    serve_bench.add_argument("--window", type=float, default=0.002)
+    serve_bench.add_argument("--json", dest="json_out",
+                             help="write the BENCH payload to this path")
 
     lint = sub.add_parser("lint", help="run the determinism lint over source trees")
     lint.add_argument("paths", nargs="*",
@@ -437,6 +483,97 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import PlanServer, PlanningService, ServiceConfig
+
+    if args.slots < 1:
+        print(f"--slots must be >= 1, got {args.slots}", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        total_slots=args.slots,
+        prioritizer=args.prioritizer,
+        cap_search=not args.no_cap_search,
+        pool=args.pool,
+        cache_capacity=args.cache_capacity,
+        batching=not args.no_batching,
+        window=args.window,
+    )
+    service = PlanningService(config)
+    server = PlanServer(service, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        batching = "off" if args.no_batching else f"window {args.window * 1e3:g}ms"
+        print(
+            f"serving on http://{server.host}:{server.port} "
+            f"({args.slots} slots, {args.prioritizer}/{args.pool}, batching {batching})",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import MIXES, run_serve_bench
+
+    if args.requests < 1:
+        print(f"--requests must be >= 1, got {args.requests}", file=sys.stderr)
+        return 2
+    levels = tuple(args.concurrency) if args.concurrency else (2, 8, 16)
+    if any(level < 1 for level in levels):
+        print(f"--concurrency values must be >= 1, got {levels}", file=sys.stderr)
+        return 2
+    payload = run_serve_bench(
+        concurrency_levels=levels,
+        requests_per_client=args.requests,
+        scenario=args.scenario,
+        seed=args.seed,
+        scale=args.scale,
+        total_slots=args.slots,
+        window=args.window,
+        mixes=tuple(args.mix) if args.mix else MIXES,
+    )
+    rows = [
+        [
+            cell["mix"],
+            "on" if cell["batching"] else "off",
+            cell["concurrency"],
+            cell["plans_per_sec"],
+            cell["latency_ms"]["p50"],
+            cell["latency_ms"]["p99"],
+            cell["latency_ms"]["p999"],
+            f"{cell['hit_rate']:.2f}",
+        ]
+        for cell in payload["cells"]
+    ]
+    print(format_table(
+        ["mix", "batch", "conc", "plans/s", "p50 ms", "p99 ms", "p999 ms", "hits"],
+        rows,
+        title=f"serve bench ({args.slots} slots, {args.requests} req/client)",
+        float_fmt="{:.2f}",
+    ))
+    summary = payload["summary"]
+    cold = summary["cold_p99_ms"]
+    print(
+        f"\nsummary @ concurrency {summary['top_concurrency']}: "
+        f"recurrent hit-rate {summary['recurrent_hit_rate']} | "
+        f"cold p99 batching-on {cold['batching_on']}ms vs off {cold['batching_off']}ms"
+    )
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote bench payload to {args.json_out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.seeds <= 0:
         print(f"--seeds must be positive, got {args.seeds}", file=sys.stderr)
@@ -500,6 +637,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_callgraph(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -149,6 +149,8 @@ def find_min_cap(
     max_slots: int,
     relative_deadline: Optional[float] = None,
     job_order: Optional[Sequence[str]] = None,
+    problem: Optional[_SimProblem] = None,
+    memo: Optional[Dict[int, Tuple[Optional[_Batches], float]]] = None,
 ) -> CapSearchResult:
     """Binary-search the minimum cap whose simulated makespan meets the
     relative deadline.
@@ -158,6 +160,15 @@ def find_min_cap(
         max_slots: the system slot count ``n`` reported by the master.
         relative_deadline: ``D_i - S_i``; defaults to the workflow's own.
         job_order: intra-workflow priority order fed to Algorithm 1.
+        problem: pre-built :class:`_SimProblem` for ``(workflow, order)``;
+            fused searches over structurally identical workflows share one
+            setup instead of rebuilding it per search.
+        memo: external probe memo ``{cap: (batches, makespan)}`` shared
+            *across* searches on the same problem.  A probe at a given cap
+            is a pure function of the problem, never of the deadline, so
+            searches that differ only in deadline or slot count reuse each
+            other's simulations (the serve-tier batch fusion); ``probes``
+            still counts only the simulations this call performed.
 
     Returns:
         The minimal feasible cap, or ``cap == max_slots`` with
@@ -180,8 +191,12 @@ def find_min_cap(
     if relative_deadline is None:
         relative_deadline = workflow.relative_deadline
     order = _resolve_order(workflow, job_order)
-    problem = _SimProblem(workflow, order)  # setup shared by every probe
-    memo: Dict[int, Tuple[Optional[_Batches], float]] = {}
+    if problem is None:
+        problem = _SimProblem(workflow, order)  # setup shared by every probe
+    elif problem.order != order:
+        raise ValueError("shared _SimProblem was built for a different job order")
+    if memo is None:
+        memo = {}
     probes = 0
 
     def probe(cap: int) -> Tuple[Optional[_Batches], float]:
@@ -333,6 +348,8 @@ def find_min_cap_split(
     map_fraction: float = 2.0 / 3.0,
     relative_deadline: Optional[float] = None,
     job_order: Optional[Sequence[str]] = None,
+    problem: Optional[_SimProblem] = None,
+    memo: Optional[Dict[Tuple[int, int], Tuple[Optional[_Batches], float]]] = None,
 ) -> SplitCapSearchResult:
     """Split-pool variant of :func:`find_min_cap` (our ablation, DESIGN.md §6).
 
@@ -348,6 +365,11 @@ def find_min_cap_split(
     pooled search rather than rejecting the configuration.  Distinct totals
     ``k`` can scale to the same ``(map_cap, reduce_cap)`` pair; the probe
     memo collapses them, so ``probes`` counts distinct simulations.
+
+    ``problem`` and ``memo`` mirror :func:`find_min_cap`'s fusion seams:
+    the memo is keyed by the scaled ``(map_cap, reduce_cap)`` pair, which
+    is a complete description of one probe on a given problem, so it is
+    shareable across deadlines and slot counts alike.
     """
     if max_slots < 1:
         raise ValueError("max_slots must be >= 1")
@@ -356,8 +378,12 @@ def find_min_cap_split(
     if relative_deadline is None:
         relative_deadline = workflow.relative_deadline
     order = _resolve_order(workflow, job_order)
-    problem = _SimProblem(workflow, order)  # setup shared by every probe
-    memo: Dict[Tuple[int, int], Tuple[Optional[_Batches], float]] = {}
+    if problem is None:
+        problem = _SimProblem(workflow, order)  # setup shared by every probe
+    elif problem.order != order:
+        raise ValueError("shared _SimProblem was built for a different job order")
+    if memo is None:
+        memo = {}
     probes = 0
 
     def probe(k: int) -> Tuple[Optional[_Batches], float]:

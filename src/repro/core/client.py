@@ -28,7 +28,7 @@ from repro.hdfs import HdfsNamespace
 from repro.workflow.model import Workflow, WorkflowValidationError
 from repro.workflow.xmlconfig import parse_workflow_xml
 
-__all__ = ["ValidationReport", "WohaClient", "make_planner"]
+__all__ = ["ValidationError", "ValidationReport", "WohaClient", "make_planner"]
 
 
 def _plan_entry(
@@ -38,12 +38,20 @@ def _plan_entry(
     cap_search: bool,
     pool: str = "pooled",
     map_fraction: float = 2.0 / 3.0,
+    problem=None,
+    memo=None,
 ) -> PlanCacheEntry:
     """One full planning run: ``(cap-search result, plan)``.
 
     The unit both :class:`WohaClient` and :func:`make_planner` compute, and
     the unit :class:`~repro.core.plancache.PlanCache` stores.  The search
     result is ``None`` when cap search is off.
+
+    ``problem``/``memo`` are the batch-fusion seams
+    (:mod:`repro.serve.batching`): a shared pre-built ``_SimProblem`` and a
+    cross-search probe memo for requests that differ only in deadline or
+    slot count.  Both default to per-call state, which is the plain
+    client-side path.
     """
     order = tuple(job_order)
     if pool == "split":
@@ -51,28 +59,70 @@ def _plan_entry(
         from repro.core.plangen import generate_requirements_split
 
         if cap_search:
-            result = find_min_cap_split(workflow, total_slots, map_fraction, job_order=order)
+            result = find_min_cap_split(
+                workflow, total_slots, map_fraction, job_order=order,
+                problem=problem, memo=memo,
+            )
             return result, plan_from_search(workflow, order, result)
         map_cap = max(1, round(total_slots * map_fraction))
         return None, generate_requirements_split(
-            workflow, map_cap, max(1, total_slots - map_cap), order
+            workflow, map_cap, max(1, total_slots - map_cap), order, problem=problem
         )
     if cap_search:
-        result = find_min_cap(workflow, total_slots, job_order=order)
+        result = find_min_cap(workflow, total_slots, job_order=order, problem=problem, memo=memo)
         return result, plan_from_search(workflow, order, result)
-    return None, generate_requirements(workflow, total_slots, order, feasible=True)
+    return None, generate_requirements(workflow, total_slots, order, feasible=True, problem=problem)
 
 
 @dataclass(frozen=True)
 class ValidationReport:
-    """Outcome of the Configuration Validator."""
+    """Outcome of the Configuration Validator.
+
+    ``errors`` carries structural failures that precede the HDFS checks —
+    malformed XML, bad attributes, dependency cycles — so a single report
+    type describes every way a submission can be rejected.
+    """
 
     missing_inputs: Tuple[str, ...]
     missing_jars: Tuple[str, ...]
+    errors: Tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
-        return not self.missing_inputs and not self.missing_jars
+        return not self.missing_inputs and not self.missing_jars and not self.errors
+
+    def to_payload(self) -> dict:
+        """JSON-ready dict (the serve tier's 400-response body)."""
+        return {
+            "ok": self.ok,
+            "missing_inputs": list(self.missing_inputs),
+            "missing_jars": list(self.missing_jars),
+            "errors": list(self.errors),
+        }
+
+
+class ValidationError(WorkflowValidationError):
+    """A submission the Configuration Validator rejected.
+
+    Unlike a bare :class:`~repro.workflow.model.WorkflowValidationError`
+    (which it subclasses, so existing handlers keep working), it carries
+    the structured :class:`ValidationReport`, so callers — the serve tier's
+    400 responses in particular — can show *what* failed instead of parsing
+    an exception string.
+    """
+
+    def __init__(self, report: ValidationReport, message: Optional[str] = None) -> None:
+        if message is None:
+            parts = []
+            if report.errors:
+                parts.append("errors " + "; ".join(report.errors))
+            if report.missing_inputs:
+                parts.append(f"missing inputs {list(report.missing_inputs)}")
+            if report.missing_jars:
+                parts.append(f"missing jars {list(report.missing_jars)}")
+            message = ", ".join(parts) or "validation failed"
+        super().__init__(message)
+        self.report = report
 
 
 def _resolve_prioritizer(prioritizer: Union[str, Prioritizer]) -> Prioritizer:
@@ -162,19 +212,39 @@ class WohaClient:
     # -- submission -------------------------------------------------------------------
 
     def submit(self, workflow: Workflow) -> WorkflowInProgress:
-        """Validate, plan and submit (steps b-h)."""
+        """Validate, plan and submit (steps b-h).
+
+        Raises:
+            ValidationError: when the Configuration Validator rejects the
+                workflow; ``.report`` holds the structured findings.
+        """
         report = self.validate(workflow)
         if not report.ok:
-            raise WorkflowValidationError(
+            raise ValidationError(
+                report,
                 f"workflow {workflow.name!r}: missing inputs {list(report.missing_inputs)}, "
-                f"missing jars {list(report.missing_jars)}"
+                f"missing jars {list(report.missing_jars)}",
             )
         plan = self.generate_plan(workflow)
         return self.jobtracker.submit_workflow(workflow, plan=plan, use_submitter=True)
 
     def submit_xml(self, xml_text: str) -> WorkflowInProgress:
-        """The ``hadoop dag W_i.xml`` entry point (step a)."""
-        return self.submit(parse_workflow_xml(xml_text))
+        """The ``hadoop dag W_i.xml`` entry point (step a).
+
+        Malformed or structurally invalid XML raises the same typed
+        :class:`ValidationError` as a failed HDFS check — the parse failure
+        lands in ``report.errors`` — so callers handle one exception shape
+        for every rejection path.
+        """
+        try:
+            workflow = parse_workflow_xml(xml_text)
+        except ValidationError:
+            raise
+        except WorkflowValidationError as exc:
+            raise ValidationError(
+                ValidationReport(missing_inputs=(), missing_jars=(), errors=(str(exc),))
+            ) from exc
+        return self.submit(workflow)
 
 
 def make_planner(

@@ -346,6 +346,7 @@ def generate_requirements(
     cap: int,
     job_order: Optional[Sequence[str]] = None,
     feasible: bool = True,
+    problem: Optional[_SimProblem] = None,
 ) -> ProgressPlan:
     """Algorithm 1: simulate ``workflow`` on ``cap`` pooled slots.
 
@@ -355,12 +356,21 @@ def generate_requirements(
         job_order: intra-workflow priority order (best first); defaults to
             the workflow's topological order.
         feasible: recorded on the plan (set by the cap search).
+        problem: pre-built :class:`_SimProblem` for ``(workflow, order)``;
+            callers planning many structurally identical workflows (the
+            serve-tier batch fusion) pass one shared setup instead of
+            paying the rank-index build per plan.
 
     Returns:
         The progress requirement plan ``F_i``.
     """
     order = tuple(job_order) if job_order is not None else workflow.topological_order()
-    batches, makespan = _simulate(workflow, cap, order, pooled=True)
+    if problem is not None:
+        if problem.order != order:
+            raise ValueError("shared _SimProblem was built for a different job order")
+        batches, makespan = problem.run(cap, pooled=True)
+    else:
+        batches, makespan = _simulate(workflow, cap, order, pooled=True)
     return _batches_to_plan(batches, makespan, order, cap, workflow.total_tasks, feasible)
 
 
@@ -370,17 +380,24 @@ def generate_requirements_split(
     reduce_cap: int,
     job_order: Optional[Sequence[str]] = None,
     feasible: bool = True,
+    problem: Optional[_SimProblem] = None,
 ) -> ProgressPlan:
     """Split-pool ablation: separate map and reduce slot caps.
 
     The paper pools both slot kinds into one ``n``; this variant models
     them separately, which matches the real cluster more closely.  Compared
-    in ``benchmarks/bench_ablation_split_pool.py``.
+    in ``benchmarks/bench_ablation_split_pool.py``.  ``problem`` shares a
+    pre-built setup exactly as in :func:`generate_requirements`.
     """
     if reduce_cap < 1:
         raise ValueError("reduce cap must be >= 1")
     order = tuple(job_order) if job_order is not None else workflow.topological_order()
-    batches, makespan = _simulate(workflow, map_cap, order, pooled=False, reduce_cap=reduce_cap)
+    if problem is not None:
+        if problem.order != order:
+            raise ValueError("shared _SimProblem was built for a different job order")
+        batches, makespan = problem.run(map_cap, pooled=False, reduce_cap=reduce_cap)
+    else:
+        batches, makespan = _simulate(workflow, map_cap, order, pooled=False, reduce_cap=reduce_cap)
     return _batches_to_plan(
         batches, makespan, order, map_cap + reduce_cap, workflow.total_tasks, feasible
     )

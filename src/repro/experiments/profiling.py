@@ -18,6 +18,7 @@ decision path), each under an explicit DT102 allow.
 
 from __future__ import annotations
 
+import asyncio
 import cProfile
 import os
 import pstats
@@ -84,6 +85,96 @@ def _short_location(func: Tuple[str, int, str]) -> str:
     return f"{name} ({tail}:{line})"
 
 
+def _hot_rows(
+    profiler: cProfile.Profile, events: int, top: int, sort: str
+) -> List[Tuple[str, int, float, float, float]]:
+    """The top-N (location, calls, tot, cum, µs/event) rows of a profile."""
+    stats = pstats.Stats(profiler)
+    entries = [
+        (func, calls, tottime, cumtime)
+        for func, (_cc, calls, tottime, cumtime, _callers) in stats.stats.items()
+    ]
+    key = (lambda e: e[3]) if sort == "cumulative" else (lambda e: e[2])
+    entries.sort(key=key, reverse=True)
+    return [
+        (
+            _short_location(func),
+            calls,
+            round(tottime, 4),
+            round(cumtime, 4),
+            round(1e6 * tottime / events, 4) if events else 0.0,
+        )
+        for func, calls, tottime, cumtime in entries[:top]
+    ]
+
+
+def _profile_serve(
+    seed: int, scale: float, nodes: int, fast: bool, top: int, sort: str
+) -> ProfileReport:
+    """The ``serve`` scenario: profile the batching planner, not a cluster.
+
+    Drives a deterministic request stream straight into
+    :meth:`~repro.serve.service.PlanningService.plan` — ``nodes`` synthetic
+    tenants per round, alternating recurrent template requests with
+    cold (deadline-jittered) ones, ``max(2, round(20 * scale))`` rounds —
+    so cProfile attributes cost to the flush/fusion path itself.  ``fast``
+    toggles micro-batching: the reference profile builds every miss
+    individually through the in-flight guard.  An *event* is one served
+    plan request.
+    """
+    from repro.serve.service import PlanningService, ServiceConfig
+
+    templates = [
+        w for w in SCENARIOS["serve"](seed, scale)[0] if w.relative_deadline is not None
+    ]
+    tenants = max(2, nodes)
+    rounds = max(2, round(20 * scale))
+    service = PlanningService(ServiceConfig(total_slots=200, batching=fast, window=0.0005))
+
+    schedule = []
+    for r in range(rounds):
+        burst = []
+        for t in range(tenants):
+            template = templates[(r + t) % len(templates)]
+            if t % 2:  # odd tenants go cold: unique relative deadline
+                ordinal = r * tenants + t
+                base = template.relative_deadline
+                template = template.with_timing(0.0, base * (1.0 + ordinal * 1e-4))
+            burst.append((f"tenant{t:02d}", template))
+        schedule.append(burst)
+
+    async def drive() -> None:
+        for burst in schedule:
+            await asyncio.gather(
+                *(service.plan(w, tenant=name) for name, w in burst)
+            )
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()  # repro: allow[DT102] - measurement, not a decision input
+    profiler.enable()
+    try:
+        asyncio.run(drive())
+    finally:
+        profiler.disable()
+    wall = time.perf_counter() - start  # repro: allow[DT102] - measurement, not a decision input
+
+    events = service.requests
+    report = ProfileReport(
+        scenario="serve",
+        scheduler="planning-service",
+        seed=seed,
+        scale=scale,
+        nodes=tenants,
+        fast=fast,
+        wall_s=round(wall, 4),
+        events=events,
+        us_per_event=round(1e6 * wall / events, 3) if events else 0.0,
+        rows=_hot_rows(profiler, events, top, sort),
+    )
+    report._sorted_cumulative = sort == "cumulative"
+    return report
+
+
 def profile_scenario(
     scenario: str,
     scheduler: str = "woha-lpf",
@@ -100,7 +191,9 @@ def profile_scenario(
     ``fast`` toggles the runtime fast path (quiescent heartbeats plus
     batched assignment) exactly like the throughput bench, so the two
     profiles of a fast/reference pair attribute cost to the same decision
-    stream.
+    stream.  The ``serve`` scenario is special-cased: it profiles the
+    planning *service* request path (:func:`_profile_serve`) instead of a
+    cluster run, with ``fast`` toggling micro-batching.
     """
     if sort not in ("cumulative", "tottime"):
         raise ValueError(f"sort must be 'cumulative' or 'tottime', got {sort!r}")
@@ -112,6 +205,8 @@ def profile_scenario(
         raise ValueError(
             f"unknown scenario {scenario!r}; pick from {sorted(SCENARIOS)}"
         ) from None
+    if scenario == "serve":
+        return _profile_serve(seed, scale, nodes, fast, top, sort)
     workflows, outages = make_scenario(seed, scale)
     scheduler_obj, mode, planner = _make_stack(scheduler)
     config = ClusterConfig(
@@ -135,23 +230,7 @@ def profile_scenario(
     wall = time.perf_counter() - start  # repro: allow[DT102] - measurement, not a decision input
 
     events = result.events_processed
-    stats = pstats.Stats(profiler)
-    entries = [
-        (func, calls, tottime, cumtime)
-        for func, (_cc, calls, tottime, cumtime, _callers) in stats.stats.items()
-    ]
-    key = (lambda e: e[3]) if sort == "cumulative" else (lambda e: e[2])
-    entries.sort(key=key, reverse=True)
-    rows: List[Tuple[str, int, float, float, float]] = [
-        (
-            _short_location(func),
-            calls,
-            round(tottime, 4),
-            round(cumtime, 4),
-            round(1e6 * tottime / events, 4) if events else 0.0,
-        )
-        for func, calls, tottime, cumtime in entries[:top]
-    ]
+    rows = _hot_rows(profiler, events, top, sort)
     report = ProfileReport(
         scenario=scenario,
         scheduler=scheduler,

@@ -23,7 +23,13 @@ from repro.workflow.builder import WorkflowBuilder
 from repro.workflow.model import Workflow
 from repro.workloads.yahoo import YahooTraceConfig, generate_yahoo_workflows
 
-__all__ = ["SCENARIOS", "periodic_scenario", "yahoo_scenario", "outages_scenario"]
+__all__ = [
+    "SCENARIOS",
+    "periodic_scenario",
+    "yahoo_scenario",
+    "outages_scenario",
+    "serve_scenario",
+]
 
 #: (workflows to run, outages to inject) — the runner's scenario contract.
 ScenarioPayload = Tuple[List[Workflow], Tuple[Outage, ...]]
@@ -95,8 +101,48 @@ def outages_scenario(seed: int, scale: float = 1.0) -> ScenarioPayload:
     return workflows, outages
 
 
+def serve_scenario(seed: int, scale: float = 1.0) -> ScenarioPayload:
+    """Planning-*cost*-heavy templates for the serve tier's load tests.
+
+    The other scenarios size their workflows for scheduling runs; here the
+    expensive part is the client-side pipeline itself (cap search ×
+    Algorithm 1), so each template is a wide fan-out/fan-in DAG with large
+    task counts — milliseconds of planning, not microseconds — which is
+    what makes the serve bench's batching-vs-not comparison meaningful.
+    ``scale`` stretches the template *count*; the per-template size is
+    fixed so costs stay comparable across scales.
+    """
+    rng = np.random.default_rng(seed)
+    count = max(2, round(4 * scale))
+    workflows = []
+    for i in range(count):
+        map_s = float(rng.choice([30.0, 45.0, 60.0]))
+        builder = (
+            WorkflowBuilder(f"serve{i:03d}")
+            .job("ingest", maps=96, reduces=16, map_s=map_s, reduce_s=2 * map_s)
+        )
+        for branch in range(6):
+            builder.job(
+                f"branch{branch}",
+                maps=48 + 8 * branch,
+                reduces=8,
+                map_s=map_s * (1.0 + 0.1 * branch),
+                reduce_s=map_s,
+                after=["ingest"],
+            )
+        builder.job(
+            "merge", maps=64, reduces=12, map_s=map_s, reduce_s=3 * map_s,
+            after=[f"branch{b}" for b in range(6)],
+        )
+        builder.job("publish", maps=8, reduces=2, map_s=map_s / 2, reduce_s=map_s,
+                    after=["merge"])
+        workflows.append(builder.deadline(relative=60 * map_s).build())
+    return workflows, ()
+
+
 SCENARIOS: Dict[str, Callable[[int, float], ScenarioPayload]] = {
     "periodic": periodic_scenario,
     "yahoo": yahoo_scenario,
     "outages": outages_scenario,
+    "serve": serve_scenario,
 }

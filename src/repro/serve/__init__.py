@@ -1,0 +1,23 @@
+"""Multi-tenant planning service tier (DESIGN.md §15).
+
+The paper pushes all planning work to the client (§III-B); this package
+packages that client-side pipeline as a long-running asyncio service so
+many tenants share one :class:`~repro.core.plancache.PlanCache` and one
+batching planner:
+
+* :mod:`repro.serve.batching` — the micro-batch window that fuses
+  concurrent cache misses sharing a workflow structure into one
+  ``_SimProblem`` setup and one probe memo.
+* :mod:`repro.serve.service` — :class:`PlanningService`, the transport-
+  independent core (plan / admit / stats / trace).
+* :mod:`repro.serve.api` — :class:`PlanServer`, a minimal HTTP/1.1 layer
+  over asyncio streams (stdlib only).
+* :mod:`repro.serve.loadgen` — the closed-loop load generator behind
+  ``repro serve-bench``.
+"""
+
+from repro.serve.batching import BatchingPlanner
+from repro.serve.service import PlanningService, ServiceConfig
+from repro.serve.api import PlanServer
+
+__all__ = ["BatchingPlanner", "PlanningService", "PlanServer", "ServiceConfig"]

@@ -1,0 +1,250 @@
+"""Micro-batched plan building with shared-setup fusion (DESIGN.md §15).
+
+The planning pipeline splits into a per-*structure* part and a per-*request*
+part.  ``_SimProblem`` (:mod:`repro.core.plangen`) precomputes everything
+that depends only on the workflow DAG and the job order; a cap-search probe
+at cap ``c`` is then a pure function of ``(problem, c)`` — the deadline only
+decides *which* caps get probed.  So two concurrent requests for the same
+structure with different deadlines (the multi-tenant cold-start pattern:
+one template, per-tenant deadlines) can share one ``_SimProblem`` build and
+one probe memo, and each search skips every cap the other already simulated.
+
+:class:`BatchingPlanner` exploits that overlap with a micro-batch window:
+
+1. A cache **hit** bypasses the window entirely — batching must never slow
+   down the recurrent steady state.
+2. A miss parks in the pending list; the first miss arms a flush timer
+   (``window`` seconds of ``asyncio.sleep``).
+3. The flush runs **synchronously** — no awaits between its cache reads and
+   writes — so it is atomic with respect to the event loop: the cache is a
+   single-writer structure and needs no locks (DESIGN.md §15.3).
+4. Within a flush, requests with identical fingerprints collapse to one
+   build (outcome ``"fused"``); distinct fingerprints sharing a fusion key
+   (structure, job order, planner mode — everything *except* deadline and
+   slot count) share a ``_SimProblem`` and a probe memo.
+
+Plan bytes are unchanged by construction: a probe's outcome at a given cap
+is deterministic, so memo-served probes return exactly what a fresh
+simulation would; only the *count* of simulations drops.
+``tests/serve/test_wire_equivalence.py`` pins this against the direct
+:meth:`~repro.core.client.WohaClient.generate_plan` path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.client import _plan_entry
+from repro.core.plancache import PlanCache, PlanCacheEntry
+from repro.core.plangen import _SimProblem
+from repro.trace import NULL_TRACER
+from repro.workflow.model import Workflow
+
+__all__ = ["BatchingPlanner"]
+
+
+class _PendingRequest:
+    """One parked cache miss awaiting the next flush."""
+
+    __slots__ = ("workflow", "order", "total_slots", "cap_search", "pool",
+                 "map_fraction", "mode", "future")
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        order: Tuple[str, ...],
+        total_slots: int,
+        cap_search: bool,
+        pool: str,
+        map_fraction: float,
+        mode: Tuple[Any, ...],
+        future: "asyncio.Future[Tuple[PlanCacheEntry, str]]",
+    ) -> None:
+        self.workflow = workflow
+        self.order = order
+        self.total_slots = total_slots
+        self.cap_search = cap_search
+        self.pool = pool
+        self.map_fraction = map_fraction
+        self.mode = mode
+        self.future = future
+
+
+class BatchingPlanner:
+    """Fuses concurrent plan requests into shared-setup batches.
+
+    Args:
+        cache: the shared :class:`~repro.core.plancache.PlanCache`; hits are
+            served from it synchronously, batch builds commit into it.
+        window: micro-batch window in seconds.  ``0.0`` still defers one
+            event-loop tick, so requests arriving in the same ready-queue
+            burst batch together.
+        enabled: ``False`` degrades to per-request building through
+            :meth:`PlanCache.get_or_build_async` (the bench baseline).
+        tracer: mirrors batch counters into the ``serve_batch`` scope.
+    """
+
+    COUNTER_SCOPE = "serve_batch"
+
+    def __init__(
+        self,
+        cache: PlanCache,
+        window: float = 0.002,
+        enabled: bool = True,
+        tracer=NULL_TRACER,
+    ) -> None:
+        if window < 0:
+            raise ValueError("window must be >= 0")
+        self.cache = cache
+        self.window = window
+        self.enabled = enabled
+        self.tracer = tracer
+        self._pending: List[_PendingRequest] = []
+        self._flush_task: Optional["asyncio.Task[None]"] = None
+        self.batches = 0
+        self.batched_requests = 0
+        self.fused = 0
+        self.shared_setups = 0
+
+    @staticmethod
+    def planner_mode(pool: str, cap_search: bool, map_fraction: float) -> Tuple[Any, ...]:
+        """The cache ``mode`` tuple — same shape :func:`make_planner` uses,
+        so service-built entries and standalone-planner entries collide."""
+        return (pool, cap_search, map_fraction)
+
+    async def plan(
+        self,
+        workflow: Workflow,
+        job_order: Tuple[str, ...],
+        total_slots: int,
+        cap_search: bool = True,
+        pool: str = "pooled",
+        map_fraction: float = 2.0 / 3.0,
+    ) -> Tuple[PlanCacheEntry, str]:
+        """Resolve one plan request; returns ``(entry, outcome)``.
+
+        Outcomes: ``"hit"`` (served from cache, no window), ``"miss"``
+        (this request's batch built it), ``"fused"`` (an identical request
+        in the same batch built it), ``"coalesced"`` (batching disabled:
+        another task's in-flight build was awaited).
+        """
+        mode = self.planner_mode(pool, cap_search, map_fraction)
+        if not self.enabled:
+            return await self.cache.get_or_build_async(
+                workflow, job_order, total_slots, mode,
+                build=lambda: _plan_entry(
+                    workflow, job_order, total_slots, cap_search, pool, map_fraction
+                ),
+            )
+        entry = self.cache.lookup(workflow, job_order, total_slots, mode)
+        if entry is not None:
+            return entry, "hit"
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Tuple[PlanCacheEntry, str]]" = loop.create_future()
+        self._pending.append(
+            _PendingRequest(
+                workflow, tuple(job_order), total_slots, cap_search, pool,
+                map_fraction, mode, future,
+            )
+        )
+        if self._flush_task is None or self._flush_task.done():
+            self._flush_task = loop.create_task(self._flush_after_window())
+        return await future
+
+    async def _flush_after_window(self) -> None:
+        """Sleep out the window, then drain every pending request."""
+        await asyncio.sleep(self.window)
+        while self._pending:
+            self.flush_now()
+
+    def flush_now(self) -> int:  # repro: budget O(n)
+        """Drain the pending list in one synchronous batch; returns its size.
+
+        Public so tests and the ``serve`` profile scenario can drive the
+        batch path deterministically without a running window timer.
+        """
+        batch = self._pending
+        if not batch:
+            return 0
+        self._pending = []
+        self._flush(batch)
+        return len(batch)
+
+    def _flush(self, batch: List[_PendingRequest]) -> None:  # repro: budget O(n)
+        # Stage 1 — collapse identical fingerprints: one build serves all
+        # duplicate requests in the batch (outcome "fused" for the extras).
+        by_key: Dict[Tuple[Any, ...], List[_PendingRequest]] = {}
+        for req in batch:
+            key = PlanCache.fingerprint(req.workflow, req.order, req.total_slots, req.mode)
+            group = by_key.get(key)
+            if group is None:
+                by_key[key] = [req]  # repro: allow[DT401] - one accumulator per distinct fingerprint
+            else:
+                group.append(req)
+        # Stage 2 — group distinct fingerprints by fusion key: everything
+        # except the relative deadline and the slot count.  Members share a
+        # _SimProblem and a probe memo.
+        fusion: Dict[Tuple[Any, ...], List[List[_PendingRequest]]] = {}
+        for key, group in by_key.items():
+            fkey = (key[0], key[1], key[4])  # repro: allow[DT401] - (structure, order, mode) grouping key
+            members = fusion.get(fkey)
+            if members is None:
+                fusion[fkey] = [group]  # repro: allow[DT401] - one accumulator per fusion group
+            else:
+                members.append(group)
+        fused_here = len(batch) - len(by_key)
+        shared_here = 0
+        for members in fusion.values():
+            shared_here += len(members) - 1
+            first = members[0][0]
+            # The shared setup: exactly what _plan_entry would build per
+            # call, hoisted out of the member loop.  The memo carries probe
+            # results across the members' cap searches.
+            problem = _SimProblem(first.workflow, first.order)
+            memo: Dict[Any, Any] = {}  # repro: allow[DT401] - one probe memo per fusion group
+            for group in members:
+                lead = group[0]
+                try:
+                    entry = self.cache.get_or_build(
+                        lead.workflow, lead.order, lead.total_slots, lead.mode,
+                        build=lambda r=lead, p=problem, m=memo: _plan_entry(
+                            r.workflow, r.order, r.total_slots, r.cap_search,
+                            r.pool, r.map_fraction, problem=p, memo=m,
+                        ),
+                    )
+                except Exception as exc:  # repro: allow[DT303] - forwarded to each requester's future, never swallowed
+                    for req in group:
+                        future = req.future
+                        if not future.done():
+                            future.set_exception(exc)
+                    continue
+                outcome = "miss"
+                for req in group:
+                    future = req.future
+                    if not future.done():
+                        future.set_result((entry, outcome))  # repro: allow[DT401] - the per-request result pair
+                    outcome = "fused"
+        self.batches += 1
+        self.batched_requests += len(batch)
+        self.fused += fused_here
+        self.shared_setups += shared_here
+        if self.tracer.enabled:
+            self.tracer.incr(self.COUNTER_SCOPE, "batches")
+            self.tracer.incr(self.COUNTER_SCOPE, "batched_requests", len(batch))
+            if fused_here:
+                self.tracer.incr(self.COUNTER_SCOPE, "fused", fused_here)
+            if shared_here:
+                self.tracer.incr(self.COUNTER_SCOPE, "shared_setups", shared_here)
+
+    def counter_table(self) -> Dict[str, Dict[str, Union[int, float]]]:
+        """Batch stats in the ``counter_table`` duck-type, so
+        ``MetricsCollector.aggregate_counters`` accepts the planner."""
+        return {
+            self.COUNTER_SCOPE: {
+                "batched_requests": self.batched_requests,
+                "batches": self.batches,
+                "fused": self.fused,
+                "shared_setups": self.shared_setups,
+            }
+        }

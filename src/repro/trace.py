@@ -165,6 +165,33 @@ class DecisionTracer:
             return list(self._events)
         return [e for e in self._events if e["event"] == event]
 
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next recorded event will carry."""
+        return self._seq
+
+    def events_since(self, seq: int, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Retained events with ``seq >= seq``, oldest first.
+
+        The incremental-consumer primitive behind the serve tier's
+        ``GET /v1/trace`` stream: a client holds the last sequence number
+        it has seen and re-polls from there.  Ring eviction can drop events
+        between polls; comparing the first returned ``seq`` against the
+        requested one detects the gap (``dropped`` counts it globally).
+        """
+        if limit is not None and limit < 1:
+            raise ValueError("limit must be >= 1 or None")
+        # Events are appended in sequence order, so the deque is sorted by
+        # seq; skip the prefix below the cursor and take up to ``limit``.
+        out: List[Dict[str, Any]] = []
+        for event in self._events:
+            if event["seq"] < seq:
+                continue
+            out.append(event)
+            if limit is not None and len(out) == limit:
+                break
+        return out
+
     def counter_table(self) -> Dict[str, Dict[str, Union[int, float]]]:
         """Counters grouped by scheduler name: ``{scheduler: {name: value}}``."""
         table: Dict[str, Dict[str, Union[int, float]]] = {}

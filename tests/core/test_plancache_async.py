@@ -1,0 +1,131 @@
+"""Regression tests for the PlanCache per-key in-flight guard.
+
+The serve tier plans concurrently on one event loop; the sync
+``get_or_build`` is a read-then-write sequence, so two asyncio tasks
+missing on the same key around an *awaiting* build would both run the
+planner and double-count the miss.  ``get_or_build_async`` must build
+once: the first misser is the builder, later missers await and are served
+the committed entry (outcome ``"coalesced"``)."""
+
+import asyncio
+
+import pytest
+
+from repro.core.plancache import PlanCache
+from repro.workflow.builder import WorkflowBuilder
+
+ORDER = ("a",)
+MODE = ("pooled", True)
+
+
+def wf(maps=6):
+    return (
+        WorkflowBuilder("wf")
+        .job("a", maps=maps, reduces=2, map_s=10.0, reduce_s=15.0)
+        .deadline(relative=300.0)
+        .build()
+    )
+
+
+class SlowBuilder:
+    """An awaitable build that yields mid-flight and counts invocations."""
+
+    def __init__(self, fail_first=0):
+        self.calls = 0
+        self.fail_first = fail_first
+
+    async def __call__(self):
+        self.calls += 1
+        call = self.calls
+        await asyncio.sleep(0)  # yield so concurrent missers can pile up
+        if call <= self.fail_first:
+            raise RuntimeError(f"build {call} failed")
+        return None, f"entry-from-call-{call}"
+
+
+def gather(cache, build, count, key_wf=None):
+    workflow = key_wf or wf()
+
+    async def go():
+        return await asyncio.gather(
+            *(
+                cache.get_or_build_async(workflow, ORDER, 24, MODE, build)
+                for _ in range(count)
+            ),
+            return_exceptions=True,
+        )
+
+    return asyncio.run(go())
+
+
+class TestCoalescing:
+    def test_concurrent_misses_build_exactly_once(self):
+        cache = PlanCache()
+        build = SlowBuilder()
+        results = gather(cache, build, 4)
+        assert build.calls == 1
+        outcomes = sorted(outcome for _entry, outcome in results)
+        assert outcomes == ["coalesced", "coalesced", "coalesced", "miss"]
+        entries = {entry[1] for entry, _ in results}
+        assert entries == {"entry-from-call-1"}
+        assert (cache.misses, cache.hits, cache.coalesced) == (1, 0, 3)
+        assert cache.counter_table()["plan_cache"]["coalesced"] == 3
+
+    def test_sequential_calls_hit_normally(self):
+        cache = PlanCache()
+        build = SlowBuilder()
+
+        async def go():
+            first = await cache.get_or_build_async(wf(), ORDER, 24, MODE, build)
+            second = await cache.get_or_build_async(wf(), ORDER, 24, MODE, build)
+            return first, second
+
+        (_, first), (_, second) = asyncio.run(go())
+        assert (first, second) == ("miss", "hit")
+        assert build.calls == 1
+
+    def test_sync_build_still_works(self):
+        cache = PlanCache()
+        results = gather(cache, lambda: (None, "sync-entry"), 2)
+        assert sorted(o for _e, o in results) == ["hit", "miss"]
+
+
+class TestBuilderFailure:
+    def test_failure_propagates_to_builder_only_and_one_waiter_rebuilds(self):
+        cache = PlanCache()
+        build = SlowBuilder(fail_first=1)
+        results = gather(cache, build, 3)
+        errors = [r for r in results if isinstance(r, Exception)]
+        served = [r for r in results if not isinstance(r, Exception)]
+        # Exactly the first builder sees the exception; one waiter took
+        # over as the next builder, the rest coalesced onto its entry.
+        assert len(errors) == 1 and "build 1 failed" in str(errors[0])
+        assert build.calls == 2
+        assert sorted(outcome for _e, outcome in served) == ["coalesced", "miss"]
+        assert {entry[1] for entry, _ in served} == {"entry-from-call-2"}
+        assert cache.misses == 1  # the failed attempt left no phantom miss
+
+    def test_all_failures_leave_cache_untouched(self):
+        cache = PlanCache()
+        build = SlowBuilder(fail_first=10)
+        results = gather(cache, build, 3)
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert build.calls == 3  # every waiter took one turn as builder
+        assert (len(cache), cache.misses, cache.hits, cache.coalesced) == (0, 0, 0, 0)
+        assert not cache._inflight  # no guard leaked
+
+    def test_clear_during_flight_is_safe(self):
+        cache = PlanCache()
+        build = SlowBuilder()
+
+        async def go():
+            task = asyncio.ensure_future(
+                cache.get_or_build_async(wf(), ORDER, 24, MODE, build)
+            )
+            await asyncio.sleep(0)  # builder is now awaiting inside build()
+            cache.clear()
+            return await task
+
+        entry, outcome = asyncio.run(go())
+        assert outcome == "miss"
+        assert len(cache) == 1  # the in-flight build committed post-clear

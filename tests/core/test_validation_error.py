@@ -1,0 +1,73 @@
+"""Typed validation failures: ValidationError carries a ValidationReport.
+
+ISSUE satellite 2: ``WohaClient.submit_xml`` on malformed XML must raise
+the *typed* :class:`~repro.core.client.ValidationError` whose ``.report``
+says what failed — API clients (the serve tier's 400 path) need structure,
+not an exception string.
+"""
+
+import pytest
+
+from repro.core.client import ValidationError, ValidationReport, WohaClient
+from repro.workflow.model import WorkflowValidationError
+
+
+class TestValidationErrorType:
+    def test_is_a_workflow_validation_error(self):
+        # Existing except-clauses for the base class keep working.
+        assert issubclass(ValidationError, WorkflowValidationError)
+
+    def test_message_composed_from_report(self):
+        report = ValidationReport((), (), errors=("first", "second"))
+        err = ValidationError(report)
+        assert "first; second" in str(err)
+        assert err.report is report
+
+    def test_message_lists_missing_artifacts(self):
+        report = ValidationReport(
+            missing_inputs=("/in/a", "/in/b"), missing_jars=("wf.jar",)
+        )
+        message = str(ValidationError(report))
+        assert "wf.jar" in message and "/in/a" in message
+
+    def test_empty_report_still_has_a_message(self):
+        assert str(ValidationError(ValidationReport((), ()))) == "validation failed"
+
+    def test_to_payload_shape(self):
+        report = ValidationReport(
+            missing_inputs=(), missing_jars=("a.jar",), errors=("bad deadline",)
+        )
+        payload = report.to_payload()
+        assert payload["ok"] is False
+        assert payload["errors"] == ["bad deadline"]
+        assert payload["missing_jars"] == ["a.jar"]
+        assert payload["missing_inputs"] == []
+
+
+class TestSubmitXml:
+    def test_malformed_xml_raises_typed_error(self, tmp_path):
+        path = tmp_path / "broken.xml"
+        path.write_text("<workflow name='w'><job name='j'")
+        client = WohaClient(None)
+        with pytest.raises(ValidationError) as exc_info:
+            client.submit_xml(str(path))
+        report = exc_info.value.report
+        assert not report.ok
+        assert report.errors and "malformed" in report.errors[0]
+
+    def test_semantically_invalid_xml_raises_typed_error(self, tmp_path):
+        path = tmp_path / "cycle.xml"
+        path.write_text(
+            """<workflow name="w" deadline="100">
+                 <job name="a" maps="1" reduces="0" map-duration="1">
+                   <after>b</after>
+                 </job>
+                 <job name="b" maps="1" reduces="0" map-duration="1">
+                   <after>a</after>
+                 </job>
+               </workflow>"""
+        )
+        client = WohaClient(None)
+        with pytest.raises(ValidationError) as exc_info:
+            client.submit_xml(str(path))
+        assert exc_info.value.report.errors

@@ -1,0 +1,158 @@
+"""Unit tests for the micro-batching planner (DESIGN.md §15)."""
+
+import asyncio
+
+import pytest
+
+from repro.core.plancache import PlanCache
+from repro.core.priorities import PRIORITIZERS
+from repro.metrics.collector import MetricsCollector
+from repro.cluster.config import ClusterConfig
+from repro.serve.batching import BatchingPlanner
+from repro.trace import DecisionTracer
+from repro.workflow.builder import WorkflowBuilder
+
+
+def diamond(name="wf", *, maps=8, relative_deadline=400.0):
+    return (
+        WorkflowBuilder(name)
+        .job("extract", maps=maps, reduces=2, map_s=10.0, reduce_s=15.0)
+        .job("left", maps=4, reduces=1, map_s=8.0, reduce_s=9.0, after=["extract"])
+        .job("right", maps=6, reduces=0, map_s=12.0, after=["extract"])
+        .job("load", maps=2, reduces=1, map_s=5.0, reduce_s=20.0, after=["left", "right"])
+        .deadline(relative=relative_deadline)
+        .build()
+    )
+
+
+def order_of(workflow):
+    return tuple(PRIORITIZERS["lpf"](workflow))
+
+
+def plan_all(planner, requests):
+    """Drive concurrent plan() calls to completion; returns (entry, outcome) list."""
+
+    async def go():
+        return await asyncio.gather(
+            *(planner.plan(w, order_of(w), slots) for w, slots in requests)
+        )
+
+    return asyncio.run(go())
+
+
+class TestWindowValidation:
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            BatchingPlanner(PlanCache(), window=-0.001)
+
+
+class TestOutcomes:
+    def test_identical_concurrent_requests_fuse_to_one_build(self):
+        cache = PlanCache()
+        planner = BatchingPlanner(cache, window=0.0)
+        w = diamond()
+        results = plan_all(planner, [(w, 24)] * 4)
+        outcomes = sorted(outcome for _entry, outcome in results)
+        assert outcomes == ["fused", "fused", "fused", "miss"]
+        assert cache.misses == 1 and len(cache) == 1
+        entries = {id(entry[1]) for entry, _ in results}
+        assert len(entries) == 1  # everyone got the same plan object
+
+    def test_cache_hit_bypasses_the_window(self):
+        cache = PlanCache()
+        planner = BatchingPlanner(cache, window=60.0)  # a window nobody waits out
+        w = diamond()
+
+        async def first_and_second():
+            # The first call *does* sit in the window, so flush manually.
+            task = asyncio.ensure_future(planner.plan(w, order_of(w), 24))
+            await asyncio.sleep(0)
+            planner.flush_now()
+            entry, outcome = await task
+            assert outcome == "miss"
+            return await planner.plan(w, order_of(w), 24)
+
+        _entry, outcome = asyncio.run(first_and_second())
+        assert outcome == "hit"
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_deadline_jittered_requests_share_one_problem(self):
+        cache = PlanCache()
+        tracer = DecisionTracer()
+        planner = BatchingPlanner(cache, window=0.0, tracer=tracer)
+        base = diamond()
+        variants = [
+            base.with_timing(0.0, 400.0 + k) for k in range(4)
+        ]  # distinct relative deadlines -> distinct fingerprints
+        results = plan_all(planner, [(w, 24) for w in variants])
+        assert [outcome for _e, outcome in results] == ["miss"] * 4
+        assert cache.misses == 4
+        # One fusion group of four members -> three shared setups.
+        assert planner.shared_setups == 3
+        assert planner.fused == 0
+        assert tracer.counter_table()["serve_batch"]["shared_setups"] == 3
+
+    def test_different_structures_do_not_fuse(self):
+        cache = PlanCache()
+        planner = BatchingPlanner(cache, window=0.0)
+        results = plan_all(planner, [(diamond(maps=8), 24), (diamond(maps=9), 24)])
+        assert planner.shared_setups == 0
+        assert cache.misses == 2
+
+    def test_disabled_batching_builds_synchronously_per_request(self):
+        # A synchronous build never yields, so the first task commits before
+        # the others even start: miss + hits, no window, no batches.  (The
+        # coalesced outcome needs an awaitable build; see
+        # tests/core/test_plancache_async.py.)
+        cache = PlanCache()
+        planner = BatchingPlanner(cache, enabled=False)
+        w = diamond()
+        results = plan_all(planner, [(w, 24)] * 3)
+        outcomes = sorted(outcome for _e, outcome in results)
+        assert outcomes == ["hit", "hit", "miss"]
+        assert cache.misses == 1
+        assert planner.batches == 0  # the batch path never ran
+
+
+class TestErrorPropagation:
+    def test_planner_failure_reaches_every_fused_requester(self, monkeypatch):
+        cache = PlanCache()
+        planner = BatchingPlanner(cache, window=0.0)
+        w = diamond()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("planner blew up")
+
+        monkeypatch.setattr("repro.serve.batching._plan_entry", boom)
+
+        async def go():
+            return await asyncio.gather(
+                planner.plan(w, order_of(w), 24),
+                planner.plan(w, order_of(w), 24),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(go())
+        assert len(results) == 2
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert len(cache) == 0 and cache.misses == 0  # DT303: no phantom state
+
+
+class TestAccounting:
+    def test_counter_table_feeds_metrics_collector(self):
+        cache = PlanCache()
+        planner = BatchingPlanner(cache, window=0.0)
+        w = diamond()
+        plan_all(planner, [(w, 24)] * 3)
+        collector = MetricsCollector(ClusterConfig(num_nodes=1))
+        table = collector.aggregate_counters(planner)
+        assert table["serve_batch"] == {
+            "batched_requests": 3,
+            "batches": 1,
+            "fused": 2,
+            "shared_setups": 0,
+        }
+
+    def test_mode_tuple_matches_make_planner(self):
+        # Service-built entries must collide with standalone-planner entries.
+        assert BatchingPlanner.planner_mode("pooled", True, 2 / 3) == ("pooled", True, 2 / 3)

@@ -1,0 +1,232 @@
+"""PlanServer tests over real sockets (ephemeral ports, keep-alive)."""
+
+import asyncio
+import json
+
+from repro.core.progress import ProgressPlan
+from repro.serve.api import PlanServer
+from repro.serve.loadgen import _read_response, build_request
+from repro.serve.service import PlanningService, ServiceConfig
+from repro.workflow.builder import WorkflowBuilder
+from repro.workflow.xmlconfig import workflow_to_xml
+
+
+def diamond(name="wf", *, relative_deadline=400.0):
+    return (
+        WorkflowBuilder(name)
+        .job("extract", maps=8, reduces=2, map_s=10.0, reduce_s=15.0)
+        .job("left", maps=4, reduces=1, map_s=8.0, reduce_s=9.0, after=["extract"])
+        .job("right", maps=6, reduces=0, map_s=12.0, after=["extract"])
+        .job("load", maps=2, reduces=1, map_s=5.0, reduce_s=20.0, after=["left", "right"])
+        .deadline(relative=relative_deadline)
+        .build()
+    )
+
+
+def raw_request(method, target, body=b"", content_type="application/xml", extra=()):
+    head = [f"{method} {target} HTTP/1.1", "Host: test", f"Content-Length: {len(body)}"]
+    if body:
+        head.append(f"Content-Type: {content_type}")
+    head.extend(extra)
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+def serve(test, config=None):
+    """Start a server on an OS-picked port, run ``test(port, service)``."""
+
+    async def go():
+        service = PlanningService(config or ServiceConfig(total_slots=24))
+        server = PlanServer(service, port=0)
+        await server.start()
+        try:
+            return await test(server.port, service)
+        finally:
+            await server.stop()
+
+    return asyncio.run(go())
+
+
+async def roundtrip(port, *requests):
+    """Send requests over ONE keep-alive connection; return the responses."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        responses = []
+        for request in requests:
+            writer.write(request)
+            await writer.drain()
+            responses.append(await _read_response(reader))
+        return responses
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+class TestRoutes:
+    def test_healthz(self):
+        async def check(port, _service):
+            [(status, _h, body)] = await roundtrip(port, raw_request("GET", "/healthz"))
+            assert status == 200 and json.loads(body) == {"ok": True}
+
+        serve(check)
+
+    def test_plan_roundtrip_bytes_and_headers(self):
+        w = diamond()
+
+        async def check(port, service):
+            request = build_request(w, tenant="t1")
+            [(status, headers, body)] = await roundtrip(port, request)
+            assert status == 200
+            assert headers["content-type"] == "application/octet-stream"
+            plan = ProgressPlan.from_bytes(body)
+            assert plan.feasible and plan.to_bytes() == body
+            assert headers["x-plan-feasible"] == "1"
+            assert headers["x-plan-cap"] == str(plan.resource_cap)
+            assert headers["x-plan-outcome"] == "miss"
+            assert headers["x-request-id"] == "1"
+            assert service.stats()["tenants"]["t1"] == {"miss": 1}
+
+        serve(check)
+
+    def test_keep_alive_second_request_is_warm(self):
+        w = diamond()
+
+        async def check(port, _service):
+            request = build_request(w, tenant="t")
+            responses = await roundtrip(port, request, request)
+            outcomes = [headers["x-plan-outcome"] for _s, headers, _b in responses]
+            assert outcomes == ["miss", "hit"]
+
+        serve(check)
+
+    def test_plan_accepts_xml_body(self):
+        xml = workflow_to_xml(diamond()).encode()
+
+        async def check(port, _service):
+            [(status, headers, body)] = await roundtrip(
+                port, raw_request("POST", "/v1/plan", xml)
+            )
+            assert status == 200
+            assert ProgressPlan.from_bytes(body).feasible
+
+        serve(check)
+
+    def test_infeasible_plan_round_trips_with_zero_bit(self):
+        doomed = diamond("doomed", relative_deadline=1.0)
+
+        async def check(port, _service):
+            [(status, headers, body)] = await roundtrip(port, build_request(doomed, "t"))
+            assert status == 200 and headers["x-plan-feasible"] == "0"
+            assert ProgressPlan.from_bytes(body).feasible is False
+
+        serve(check)
+
+    def test_admit_verdict(self):
+        async def check(port, _service):
+            good, bad = await roundtrip(
+                port,
+                build_request(diamond("ok"), "t", path="/v1/admit"),
+                build_request(diamond("doomed", relative_deadline=1.0), "t", path="/v1/admit"),
+            )
+            assert json.loads(good[2])["admitted"] is True
+            verdict = json.loads(bad[2])
+            assert verdict["admitted"] is False and verdict["workflow"] == "doomed"
+
+        serve(check)
+
+    def test_malformed_xml_is_a_structured_400(self):
+        async def check(port, _service):
+            [(status, _h, body)] = await roundtrip(
+                port, raw_request("POST", "/v1/plan", b"<workflow name='w'><job")
+            )
+            assert status == 400
+            payload = json.loads(body)
+            assert payload["ok"] is False and payload["errors"]
+
+        serve(check)
+
+    def test_trace_paging_over_http(self):
+        w = diamond()
+
+        async def check(port, _service):
+            request = build_request(w, "t")
+            await roundtrip(port, request, request)
+            [(status, headers, body)] = await roundtrip(
+                port, raw_request("GET", "/v1/trace?since=0&limit=1")
+            )
+            assert status == 200
+            events = [json.loads(line) for line in body.decode().splitlines()]
+            assert len(events) == 1 and events[0]["event"] == "plan_served"
+            cursor = int(headers["x-trace-next"])
+            [(_s2, h2, b2)] = await roundtrip(
+                port, raw_request("GET", f"/v1/trace?since={cursor}&limit=50")
+            )
+            rest = [json.loads(line) for line in b2.decode().splitlines()]
+            assert [e["outcome"] for e in rest] == ["hit"]
+
+        serve(check)
+
+    def test_stats_endpoint(self):
+        async def check(port, _service):
+            await roundtrip(port, build_request(diamond(), "alice"))
+            [(status, _h, body)] = await roundtrip(port, raw_request("GET", "/v1/stats"))
+            stats = json.loads(body)
+            assert status == 200
+            assert stats["requests"] == 1
+            assert stats["tenants"] == {"alice": {"miss": 1}}
+            assert stats["plan_cache"]["size"] == 1
+
+        serve(check)
+
+
+class TestProtocolEdges:
+    def test_unknown_route_404(self):
+        async def check(port, _service):
+            [(status, _h, body)] = await roundtrip(port, raw_request("GET", "/nope"))
+            assert status == 404 and "no route" in json.loads(body)["error"]
+
+        serve(check)
+
+    def test_wrong_method_405(self):
+        async def check(port, _service):
+            [(status, _h, _b)] = await roundtrip(port, raw_request("GET", "/v1/plan"))
+            assert status == 405
+
+        serve(check)
+
+    def test_bad_trace_query_400(self):
+        async def check(port, _service):
+            [(status, _h, _b)] = await roundtrip(
+                port, raw_request("GET", "/v1/trace?since=soon")
+            )
+            assert status == 400
+
+        serve(check)
+
+    def test_connection_close_honoured(self):
+        async def check(port, _service):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(raw_request("GET", "/healthz", extra=["Connection: close"]))
+            await writer.drain()
+            status, headers, _body = await _read_response(reader)
+            assert status == 200 and headers["connection"] == "close"
+            assert await reader.read() == b""  # server closed its side
+            writer.close()
+            await writer.wait_closed()
+
+        serve(check)
+
+    def test_planner_fault_is_a_500_and_connection_survives(self, monkeypatch):
+        async def boom(*args, **kwargs):
+            raise RuntimeError("planner blew up")
+
+        # Patch at the service level: parse succeeds, plan explodes.
+        async def check(port, service):
+            monkeypatch.setattr(service, "plan", boom)
+            responses = await roundtrip(
+                port, build_request(diamond(), "t"), raw_request("GET", "/healthz")
+            )
+            (status, _h, body), (ok_status, _h2, ok_body) = responses
+            assert status == 500 and "planner blew up" in json.loads(body)["error"]
+            assert ok_status == 200 and json.loads(ok_body) == {"ok": True}
+
+        serve(check)

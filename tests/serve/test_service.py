@@ -1,0 +1,137 @@
+"""Tests for the transport-independent PlanningService core."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.client import ValidationError
+from repro.serve.service import PlanningService, ServiceConfig
+from repro.workflow.builder import WorkflowBuilder
+from repro.workflow.xmlconfig import workflow_to_xml
+from repro.workloads.io import workflows_to_json
+
+
+def diamond(name="wf", *, relative_deadline=400.0):
+    return (
+        WorkflowBuilder(name)
+        .job("extract", maps=8, reduces=2, map_s=10.0, reduce_s=15.0)
+        .job("left", maps=4, reduces=1, map_s=8.0, reduce_s=9.0, after=["extract"])
+        .job("right", maps=6, reduces=0, map_s=12.0, after=["extract"])
+        .job("load", maps=2, reduces=1, map_s=5.0, reduce_s=20.0, after=["left", "right"])
+        .deadline(relative=relative_deadline)
+        .build()
+    )
+
+
+class TestConfigValidation:
+    def test_bad_slots_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(total_slots=0)
+
+    def test_bad_pool_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(pool="quantum")
+
+    def test_bad_prioritizer_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(prioritizer="alphabetical")
+
+
+class TestParseWorkflow:
+    def test_xml_body(self):
+        service = PlanningService()
+        xml = workflow_to_xml(diamond())
+        assert service.parse_workflow(xml.encode()).name == "wf"
+
+    def test_json_body(self):
+        service = PlanningService()
+        body = workflows_to_json([diamond()]).encode()
+        workflow = service.parse_workflow(body, "application/json")
+        assert workflow.name == "wf" and len(workflow.jobs) == 4
+
+    def test_malformed_xml_raises_typed_error(self):
+        service = PlanningService()
+        with pytest.raises(ValidationError) as exc_info:
+            service.parse_workflow(b"<workflow name='w'><job")
+        report = exc_info.value.report
+        assert not report.ok and report.errors
+
+    def test_json_with_wrong_count_rejected(self):
+        service = PlanningService()
+        body = workflows_to_json([diamond("a"), diamond("b")]).encode()
+        with pytest.raises(ValidationError, match="exactly 1"):
+            service.parse_workflow(body, "application/json")
+
+    def test_undecodable_body_rejected(self):
+        service = PlanningService()
+        with pytest.raises(ValidationError, match="undecodable"):
+            service.parse_workflow(b"\xff\xfe\x01", "application/xml")
+
+    def test_bad_json_rejected(self):
+        service = PlanningService()
+        with pytest.raises(ValidationError, match="bad workflow JSON"):
+            service.parse_workflow(b'{"format": "nope"}', "application/json")
+
+
+class TestPlanAndAdmit:
+    def test_per_tenant_outcome_counters(self):
+        service = PlanningService(ServiceConfig(total_slots=24))
+        w = diamond()
+
+        async def go():
+            await service.plan(w, tenant="alice")
+            await service.plan(w, tenant="bob")
+            await service.plan(w, tenant="bob")
+
+        asyncio.run(go())
+        stats = service.stats()
+        assert stats["tenants"]["alice"] == {"miss": 1}
+        assert stats["tenants"]["bob"] == {"hit": 2}
+        assert stats["requests"] == 3
+        assert stats["plan_cache"]["hits"] == 2
+
+    def test_admission_verdict_is_the_feasibility_bit(self):
+        service = PlanningService(ServiceConfig(total_slots=24))
+
+        async def go():
+            good = await service.admit(diamond("ok"))
+            bad = await service.admit(diamond("doomed", relative_deadline=1.0))
+            return good, bad
+
+        good, bad = asyncio.run(go())
+        assert good["admitted"] is True
+        assert bad["admitted"] is False
+        assert bad["resource_cap"] == 24  # infeasible: most optimistic plan
+        assert good["outcome"] == "miss"
+
+    def test_plan_records_trace_events(self):
+        service = PlanningService(ServiceConfig(total_slots=24))
+        asyncio.run(service.plan(diamond(), tenant="t"))
+        page, cursor = service.trace_page(0, 10)
+        events = [json.loads(line) for line in page.splitlines()]
+        assert [e["event"] for e in events] == ["plan_served"]
+        assert events[0]["tenant"] == "t" and events[0]["outcome"] == "miss"
+        assert cursor == events[-1]["seq"] + 1
+
+    def test_trace_page_is_incremental(self):
+        service = PlanningService(ServiceConfig(total_slots=24))
+
+        async def go():
+            await service.admit(diamond("a"))
+            await service.admit(diamond("b", relative_deadline=500.0))
+
+        asyncio.run(go())
+        first, cursor = service.trace_page(0, 2)
+        rest, end = service.trace_page(cursor, 100)
+        assert len(first.splitlines()) == 2
+        seqs = [json.loads(line)["seq"] for line in (first + rest).splitlines()]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        # A poll past the end returns an empty page and a stable cursor.
+        empty, again = service.trace_page(end, 10)
+        assert empty == "" and again == end
+
+    def test_stats_are_json_serialisable(self):
+        service = PlanningService()
+        asyncio.run(service.plan(diamond()))
+        assert json.loads(json.dumps(service.stats()))["requests"] == 1
